@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the compilation pipeline (front end,
+//! dataflow construction, loop analysis, SP translation, partitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pods_partition::{partition, PartitionConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let simple = pods_workloads::simple::SIMPLE;
+    c.bench_function("compile_simple_front_end", |b| {
+        b.iter(|| pods_idlang::compile(std::hint::black_box(simple)).unwrap())
+    });
+    let hir = pods_idlang::compile(simple).unwrap();
+    c.bench_function("build_dataflow_graphs", |b| {
+        b.iter(|| pods_dataflow::build_program(std::hint::black_box(&hir)))
+    });
+    c.bench_function("analyze_loops", |b| {
+        b.iter(|| pods_dataflow::analyze_loops(std::hint::black_box(&hir)))
+    });
+    c.bench_function("translate_to_sps", |b| {
+        b.iter(|| pods_sp::translate(std::hint::black_box(&hir)).unwrap())
+    });
+    let loops = pods_dataflow::analyze_loops(&hir);
+    let sp = pods_sp::translate(&hir).unwrap();
+    c.bench_function("partition_sps", |b| {
+        b.iter(|| {
+            let mut program = sp.clone();
+            partition(&mut program, &loops, &PartitionConfig::default())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the machine simulator itself: events per second
+//! and end-to-end run time of small workloads on various machine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pods::{RunOptions, Value};
+
+fn bench_simulator(c: &mut Criterion) {
+    let fill = pods::compile(pods_workloads::FILL).unwrap();
+    let mut group = c.benchmark_group("simulate_fill_16x16");
+    for pes in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(pes), &pes, |b, &pes| {
+            b.iter(|| {
+                fill.run(&[Value::Int(16)], &RunOptions::with_pes(pes))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let stencil = pods::compile(pods_workloads::STENCIL).unwrap();
+    c.bench_function("simulate_stencil_16x16_8pes", |b| {
+        b.iter(|| {
+            stencil
+                .run(&[Value::Int(16)], &RunOptions::with_pes(8))
+                .unwrap()
+        })
+    });
+
+    let simple = pods::compile(pods_workloads::simple::SIMPLE).unwrap();
+    c.bench_function("simulate_simple_8x8_4pes", |b| {
+        b.iter(|| {
+            simple
+                .run(&[Value::Int(8)], &RunOptions::with_pes(4))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

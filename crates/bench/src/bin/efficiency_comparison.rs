@@ -1,0 +1,34 @@
+//! §5.3.4 of the paper: efficiency of the parallel system on a single PE
+//! compared with a conventional sequential execution of the same program
+//! (the paper measured 1.72 s for PODS vs 0.9 s for compiled C on a 32x32
+//! conduction problem, i.e. roughly a factor of two).
+
+use pods::{report, RunOptions, Value};
+use pods_baseline::run_sequential;
+use pods_machine::TimingModel;
+
+fn main() {
+    let n: i64 = 32;
+    let program = pods_bench::compile_simple();
+    let outcome = program
+        .run(&[Value::Int(n)], &RunOptions::with_pes(1))
+        .expect("PODS single-PE run");
+
+    let hir = pods_idlang::compile(pods_workloads::simple::SIMPLE).expect("compile");
+    let seq = run_sequential(&hir, &[Value::Int(n)], &TimingModel::default())
+        .expect("sequential baseline");
+
+    println!("Efficiency comparison (SIMPLE {n}x{n}, one time step)");
+    println!(
+        "{}",
+        report::efficiency_comparison(
+            "PODS on 1 PE",
+            outcome.elapsed_us(),
+            "sequential (conventional) baseline",
+            seq.elapsed_us,
+        )
+    );
+    println!();
+    println!("paper: 1.72 s vs 0.9 s (~1.9x) for the 32x32 conduction problem;");
+    println!("the parallel system should be within a small factor of the sequential code.");
+}

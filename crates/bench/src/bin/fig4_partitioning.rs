@@ -1,0 +1,33 @@
+//! Figure 4 / Figure 6 of the paper: page partitioning of a 6 x 256 array
+//! over 4 PEs and the index-space ownership under the first-element rule.
+
+use pods_istructure::{ArrayHeader, ArrayId, ArrayShape, Partitioning, PeId};
+
+fn main() {
+    let shape = ArrayShape::matrix(6, 256);
+    let part = Partitioning::new(shape.len(), 32, 4);
+    let header = ArrayHeader::new(ArrayId(0), "a", shape, part);
+
+    println!("Figure 4: 6 x 256 array, 32-element pages, 4 PEs");
+    println!("{:>4} | {:>12} | {:>16} | {:>14}", "PE", "pages", "elements", "touched rows");
+    for pe in 0..4 {
+        let seg = header.partitioning().segment_of(PeId(pe));
+        println!(
+            "{:>4} | {:>5}..{:<5} | {:>7}..{:<7} | {}",
+            pe + 1,
+            seg.page_range().start,
+            seg.page_range().end,
+            seg.element_range().start,
+            seg.element_range().end,
+            header.touched_rows(PeId(pe)),
+        );
+    }
+    println!();
+    println!("Figure 6: index-space ownership (first-element rule)");
+    println!("{:>4} | {:>14}", "PE", "owned rows");
+    for pe in 0..4 {
+        println!("{:>4} | {}", pe + 1, header.owned_rows(PeId(pe)));
+    }
+    println!();
+    println!("paper: PE1 computes rows 0-1, PE2 row 2, PE3 rows 3-4, PE4 row 5");
+}

@@ -1,0 +1,36 @@
+//! Reprints the iPSC/2 instruction-timing table of §5.1 as configured in the
+//! simulator (an input table, reproduced for completeness).
+
+use pods::TimingModel;
+
+fn main() {
+    let t = TimingModel::default();
+    println!("iPSC/2 instruction execution times used by the simulator (microseconds)");
+    println!("{:<34} {:>10}", "operation", "time");
+    let rows: Vec<(&str, f64)> = vec![
+        ("integer add / subtract / compare", t.int_alu),
+        ("bitwise / logical", t.logical),
+        ("integer multiply / divide (est.)", t.int_mul),
+        ("floating point negate", t.float_neg),
+        ("floating point compare", t.float_cmp),
+        ("floating point power", t.float_pow),
+        ("floating point abs", t.float_abs),
+        ("floating point square root", t.float_sqrt),
+        ("floating point multiply", t.float_mul),
+        ("floating point division", t.float_div),
+        ("floating point addition", t.float_add),
+        ("floating point subtraction", t.float_sub),
+        ("transcendental (est.)", t.float_transcendental),
+        ("fast context switch", t.context_switch),
+        ("local array read (EU)", t.local_array_access),
+        ("matching unit per token", t.matching_unit),
+        ("memory manager list op", t.memory_manager_op),
+        ("batched token routing", t.token_route),
+        ("short message (<=100 B)", t.small_message),
+        ("network hop (x2.5)", t.network_hop),
+        ("array allocation (AM)", t.array_allocate),
+    ];
+    for (name, us) in rows {
+        println!("{name:<34} {us:>10.3}");
+    }
+}

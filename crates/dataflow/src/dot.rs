@@ -1,0 +1,90 @@
+//! Graphviz (DOT) export of dataflow programs, for inspection and debugging.
+
+use crate::graph::{BlockKind, DataflowProgram};
+use std::fmt::Write as _;
+
+/// Renders the whole program as a DOT digraph with one cluster per code
+/// block; `L`/`LD` operators are drawn as dashed arcs into the entered block.
+pub fn to_dot(program: &DataflowProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph pods {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for block in program.blocks() {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", block.id.index());
+        let label = match &block.kind {
+            BlockKind::FunctionBody { function } => format!("function {function}"),
+            BlockKind::LoopLevel {
+                var,
+                descending,
+                depth,
+                ..
+            } => format!(
+                "loop {var}{} (depth {depth})",
+                if *descending { " (descending)" } else { "" }
+            ),
+        };
+        let _ = writeln!(out, "    label=\"{label}\";");
+        for node in &block.nodes {
+            let _ = writeln!(
+                out,
+                "    b{}_n{} [label=\"{}\"];",
+                block.id.index(),
+                node.id.index(),
+                node.op.label().replace('"', "'")
+            );
+            for input in &node.inputs {
+                let _ = writeln!(
+                    out,
+                    "    b{}_n{} -> b{}_n{};",
+                    block.id.index(),
+                    input.index(),
+                    block.id.index(),
+                    node.id.index()
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Cross-block arcs for L / LD operators.
+    for block in program.blocks() {
+        for (node, target) in block.loop_entries() {
+            let target_block = program.block(target);
+            if let Some(first) = target_block.nodes.first() {
+                let _ = writeln!(
+                    out,
+                    "  b{}_n{} -> b{}_n{} [style=dashed, label=\"L\"];",
+                    block.id.index(),
+                    node.id.index(),
+                    target.index(),
+                    first.id.index()
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_program;
+    use pods_idlang::compile;
+
+    #[test]
+    fn dot_output_contains_clusters_and_dashed_loop_arcs() {
+        let hir = compile(
+            "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }",
+        )
+        .unwrap();
+        let graph = build_program(&hir);
+        let dot = to_dot(&graph);
+        assert!(dot.starts_with("digraph pods {"));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("alloc a"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

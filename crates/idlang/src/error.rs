@@ -1,0 +1,92 @@
+//! Compilation errors for the `idlang` front end.
+
+use crate::token::Span;
+
+/// The phase in which a compilation error was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorPhase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis (name resolution, single assignment, arity).
+    Sema,
+}
+
+impl std::fmt::Display for ErrorPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorPhase::Lex => write!(f, "lex"),
+            ErrorPhase::Parse => write!(f, "parse"),
+            ErrorPhase::Sema => write!(f, "semantic"),
+        }
+    }
+}
+
+/// An error produced while compiling an `idlang` program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Which phase rejected the program.
+    pub phase: ErrorPhase,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Location of the problem in the source, when known.
+    pub span: Option<Span>,
+}
+
+impl CompileError {
+    /// Creates a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            phase: ErrorPhase::Lex,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        CompileError {
+            phase: ErrorPhase::Parse,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a semantic-analysis error.
+    pub fn sema(message: impl Into<String>, span: Option<Span>) -> Self {
+        CompileError {
+            phase: ErrorPhase::Sema,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.phase, span, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_phase_and_line() {
+        let e = CompileError::parse("expected `;`", Span::new(3, 4, 7));
+        let text = e.to_string();
+        assert!(text.contains("parse"));
+        assert!(text.contains("line 7"));
+        assert!(text.contains("expected"));
+
+        let e = CompileError::sema("unknown variable `x`", None);
+        assert!(e.to_string().contains("semantic"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-PE local storage of an array segment with I-structure semantics.
+
+use crate::error::IStructureError;
+use crate::header::{ArrayHeader, ArrayId};
+use crate::value::Value;
+use crate::PeId;
+use std::ops::Range;
+
+/// One element cell: either empty (possibly with deferred readers queued on
+/// it) or written exactly once.
+#[derive(Debug, Clone)]
+enum Cell<T> {
+    /// No value yet; the vector holds the deferred read requests enqueued on
+    /// this element ("presence bit" clear).
+    Empty(Vec<T>),
+    /// The value has been written ("presence bit" set).
+    Full(Value),
+}
+
+impl<T> Default for Cell<T> {
+    fn default() -> Self {
+        Cell::Empty(Vec::new())
+    }
+}
+
+/// The result of reading a local element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadResult {
+    /// The element was present; its value is returned immediately.
+    Present(Value),
+    /// The element has not been written yet; the read was enqueued and will
+    /// be satisfied when the write arrives.
+    Deferred,
+}
+
+/// The segment of one array held in a PE's local memory.
+///
+/// The type parameter `T` is the caller's "continuation" tag attached to
+/// deferred reads — in the simulator it identifies the SP instance and
+/// operand slot waiting for the value.
+#[derive(Debug, Clone)]
+pub struct LocalArrayStore<T> {
+    array: ArrayId,
+    pe: PeId,
+    base: usize,
+    cells: Vec<Cell<T>>,
+    written: usize,
+}
+
+impl<T> LocalArrayStore<T> {
+    /// Creates the local store for `pe`'s segment of the array described by
+    /// `header`.
+    pub fn new(header: &ArrayHeader, pe: PeId) -> Self {
+        let range = header.partitioning().segment_of(pe).element_range();
+        LocalArrayStore {
+            array: header.id(),
+            pe,
+            base: range.start,
+            cells: (0..range.len()).map(|_| Cell::default()).collect(),
+            written: 0,
+        }
+    }
+
+    /// The array this store belongs to.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// The global element offsets held by this store.
+    pub fn element_range(&self) -> Range<usize> {
+        self.base..self.base + self.cells.len()
+    }
+
+    /// Number of elements held locally.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of elements that have been written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Returns `true` when every local element has been written.
+    pub fn is_complete(&self) -> bool {
+        self.written == self.cells.len()
+    }
+
+    fn cell_index(&self, offset: usize) -> Result<usize, IStructureError> {
+        if offset < self.base || offset >= self.base + self.cells.len() {
+            return Err(IStructureError::NotLocal {
+                array: self.array,
+                offset,
+                pe: self.pe,
+            });
+        }
+        Ok(offset - self.base)
+    }
+
+    /// Returns `true` when the element at the global `offset` has been
+    /// written (its presence bit is set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::NotLocal`] if the offset is outside this
+    /// PE's segment.
+    pub fn is_present(&self, offset: usize) -> Result<bool, IStructureError> {
+        let idx = self.cell_index(offset)?;
+        Ok(matches!(self.cells[idx], Cell::Full(_)))
+    }
+
+    /// Reads the element at the global `offset`.
+    ///
+    /// If the element is absent, the `waiter` tag is enqueued on the cell and
+    /// [`ReadResult::Deferred`] is returned; the tag will be handed back by
+    /// the [`LocalArrayStore::write`] that eventually fills the element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::NotLocal`] if the offset is outside this
+    /// PE's segment.
+    pub fn read(&mut self, offset: usize, waiter: T) -> Result<ReadResult, IStructureError> {
+        let idx = self.cell_index(offset)?;
+        match &mut self.cells[idx] {
+            Cell::Full(v) => Ok(ReadResult::Present(*v)),
+            Cell::Empty(queue) => {
+                queue.push(waiter);
+                Ok(ReadResult::Deferred)
+            }
+        }
+    }
+
+    /// Reads the element without enqueueing a deferred request.
+    pub fn peek(&self, offset: usize) -> Result<Option<Value>, IStructureError> {
+        let idx = self.cell_index(offset)?;
+        Ok(match &self.cells[idx] {
+            Cell::Full(v) => Some(*v),
+            Cell::Empty(_) => None,
+        })
+    }
+
+    /// Writes the element at the global `offset`, returning the deferred
+    /// readers that were waiting for it.
+    ///
+    /// # Errors
+    ///
+    /// * [`IStructureError::SingleAssignment`] if the element was already
+    ///   written.
+    /// * [`IStructureError::NotLocal`] if the offset is outside this PE's
+    ///   segment.
+    pub fn write(&mut self, offset: usize, value: Value) -> Result<Vec<T>, IStructureError> {
+        let idx = self.cell_index(offset)?;
+        match std::mem::take(&mut self.cells[idx]) {
+            Cell::Full(prev) => {
+                // Restore the original value before reporting the violation.
+                self.cells[idx] = Cell::Full(prev);
+                Err(IStructureError::SingleAssignment {
+                    array: self.array,
+                    offset,
+                })
+            }
+            Cell::Empty(waiters) => {
+                self.cells[idx] = Cell::Full(value);
+                self.written += 1;
+                Ok(waiters)
+            }
+        }
+    }
+
+    /// Number of deferred readers currently queued on the element.
+    pub fn deferred_count(&self, offset: usize) -> Result<usize, IStructureError> {
+        let idx = self.cell_index(offset)?;
+        Ok(match &self.cells[idx] {
+            Cell::Empty(q) => q.len(),
+            Cell::Full(_) => 0,
+        })
+    }
+
+    /// Snapshot of the local segment as `(global_offset, value)` pairs for
+    /// every written element.
+    pub fn written_elements(&self) -> Vec<(usize, Value)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                Cell::Full(v) => Some((self.base + i, *v)),
+                Cell::Empty(_) => None,
+            })
+            .collect()
+    }
+
+    /// Snapshot of the local segment as a page-aligned copy: present elements
+    /// are `Some`, absent ones `None`. Used to build the page copies shipped
+    /// to remote caches.
+    pub fn copy_range(&self, range: Range<usize>) -> Vec<Option<Value>> {
+        range
+            .map(|offset| {
+                if offset < self.base || offset >= self.base + self.cells.len() {
+                    None
+                } else {
+                    match &self.cells[offset - self.base] {
+                        Cell::Full(v) => Some(*v),
+                        Cell::Empty(_) => None,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{ArrayShape, Partitioning};
+
+    fn store_for(pe: usize) -> LocalArrayStore<u32> {
+        let shape = ArrayShape::matrix(4, 8);
+        let part = Partitioning::new(shape.len(), 8, 2);
+        let header = ArrayHeader::new(ArrayId(0), "t", shape, part);
+        LocalArrayStore::new(&header, PeId(pe))
+    }
+
+    #[test]
+    fn write_then_read_returns_value() {
+        let mut s = store_for(0);
+        assert_eq!(s.write(3, Value::Float(1.25)).unwrap(), Vec::<u32>::new());
+        assert_eq!(
+            s.read(3, 99).unwrap(),
+            ReadResult::Present(Value::Float(1.25))
+        );
+        assert_eq!(s.peek(3).unwrap(), Some(Value::Float(1.25)));
+        assert!(s.is_present(3).unwrap());
+    }
+
+    #[test]
+    fn early_reads_are_deferred_and_released_by_write() {
+        let mut s = store_for(0);
+        assert_eq!(s.read(5, 11).unwrap(), ReadResult::Deferred);
+        assert_eq!(s.read(5, 22).unwrap(), ReadResult::Deferred);
+        assert_eq!(s.deferred_count(5).unwrap(), 2);
+        let woken = s.write(5, Value::Int(7)).unwrap();
+        assert_eq!(woken, vec![11, 22]);
+        assert_eq!(s.deferred_count(5).unwrap(), 0);
+        assert_eq!(s.read(5, 33).unwrap(), ReadResult::Present(Value::Int(7)));
+    }
+
+    #[test]
+    fn double_write_is_a_single_assignment_violation() {
+        let mut s = store_for(0);
+        s.write(0, Value::Int(1)).unwrap();
+        let err = s.write(0, Value::Int(2)).unwrap_err();
+        assert!(matches!(err, IStructureError::SingleAssignment { .. }));
+        // The original value is preserved.
+        assert_eq!(s.peek(0).unwrap(), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn non_local_offsets_are_rejected() {
+        let mut s = store_for(0);
+        // PE0 holds offsets 0..16 of the 4x8 array.
+        assert_eq!(s.element_range(), 0..16);
+        assert!(matches!(
+            s.write(20, Value::Int(0)),
+            Err(IStructureError::NotLocal { .. })
+        ));
+        assert!(matches!(
+            s.read(20, 0),
+            Err(IStructureError::NotLocal { .. })
+        ));
+        let s1 = store_for(1);
+        assert_eq!(s1.element_range(), 16..32);
+    }
+
+    #[test]
+    fn completion_tracking() {
+        let mut s = store_for(1);
+        assert!(!s.is_complete());
+        for offset in s.element_range() {
+            s.write(offset, Value::Int(offset as i64)).unwrap();
+        }
+        assert!(s.is_complete());
+        assert_eq!(s.written(), 16);
+        assert_eq!(s.written_elements().len(), 16);
+    }
+
+    #[test]
+    fn copy_range_marks_absent_elements() {
+        let mut s = store_for(0);
+        s.write(1, Value::Int(10)).unwrap();
+        let page = s.copy_range(0..4);
+        assert_eq!(page, vec![None, Some(Value::Int(10)), None, None]);
+        // Out-of-segment offsets come back as absent.
+        let outside = s.copy_range(14..18);
+        assert_eq!(outside.len(), 4);
+        assert_eq!(outside[2], None);
+    }
+}

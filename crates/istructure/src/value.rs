@@ -1,0 +1,174 @@
+//! Run-time values stored in I-structures and circulated as dataflow tokens.
+
+use crate::header::ArrayId;
+
+/// A run-time value.
+///
+/// The PODS execution model circulates scalar values as tokens and stores
+/// them into I-structure array elements. Integers and floats are kept
+/// distinct because the simulated iPSC/2 timing model (paper §5.1) charges
+/// very different latencies for integer and floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer (loop indices, bounds, dimensions).
+    Int(i64),
+    /// A 64-bit IEEE float (the scientific payload of SIMPLE).
+    Float(f64),
+    /// A boolean (predicate results feeding switch operators).
+    Bool(bool),
+    /// A reference to an allocated I-structure array.
+    ArrayRef(ArrayId),
+    /// The unit value produced by operators executed for effect only.
+    Unit,
+}
+
+impl Value {
+    /// Interprets the value as a float.
+    ///
+    /// Integers and booleans are promoted; array references and unit map to
+    /// `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            Value::Bool(b) => Some(if b { 1.0 } else { 0.0 }),
+            Value::ArrayRef(_) | Value::Unit => None,
+        }
+    }
+
+    /// Interprets the value as an integer (floats are truncated toward zero).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::Float(f) => Some(f as i64),
+            Value::Bool(b) => Some(i64::from(b)),
+            Value::ArrayRef(_) | Value::Unit => None,
+        }
+    }
+
+    /// Interprets the value as a boolean.
+    ///
+    /// Numbers are truthy when non-zero, mirroring the switch-operator
+    /// semantics of the dataflow graphs.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            Value::Int(i) => Some(i != 0),
+            Value::Float(f) => Some(f != 0.0),
+            Value::ArrayRef(_) | Value::Unit => None,
+        }
+    }
+
+    /// Returns the array reference carried by this value, if any.
+    pub fn as_array(&self) -> Option<ArrayId> {
+        match *self {
+            Value::ArrayRef(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the value is numeric (integer or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Returns `true` when the value is a floating-point number.
+    ///
+    /// The machine timing model uses this to decide whether an arithmetic
+    /// operation should be charged at integer or floating-point cost.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Unit
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Int(value)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(value: f64) -> Self {
+        Value::Float(value)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Self {
+        Value::Bool(value)
+    }
+}
+
+impl From<ArrayId> for Value {
+    fn from(value: ArrayId) -> Self {
+        Value::ArrayRef(value)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::ArrayRef(id) => write!(f, "array#{}", id.index()),
+            Value::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::Unit.as_f64(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Int(-4).as_bool(), Some(true));
+        assert_eq!(Value::Float(0.0).as_bool(), Some(false));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Unit.as_bool(), None);
+    }
+
+    #[test]
+    fn float_detection() {
+        assert!(Value::Float(1.0).is_float());
+        assert!(!Value::Int(1).is_float());
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::Unit.is_numeric());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for v in [
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::Bool(false),
+            Value::ArrayRef(ArrayId::from(3usize)),
+            Value::Unit,
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(4.0f64), Value::Float(4.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

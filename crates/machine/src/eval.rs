@@ -1,0 +1,230 @@
+//! Scalar operator evaluation over run-time [`Value`]s.
+
+use pods_idlang::{BinaryOp, UnaryOp};
+use pods_istructure::Value;
+
+/// An arithmetic evaluation error (reported as a simulation runtime error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn numeric(v: &Value, what: &str) -> Result<f64, EvalError> {
+    v.as_f64()
+        .ok_or_else(|| EvalError(format!("{what} is not numeric: {v}")))
+}
+
+/// Evaluates a binary operator.
+///
+/// Integer operands produce integer results for the arithmetic operators;
+/// mixing an integer with a float promotes to float, mirroring conventional
+/// numeric semantics. Comparison and logical operators produce booleans.
+///
+/// # Errors
+///
+/// Returns an error for non-numeric operands where numbers are required,
+/// and for integer division or remainder by zero.
+pub fn eval_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, EvalError> {
+    use BinaryOp::*;
+    match op {
+        And | Or => {
+            let a = lhs
+                .as_bool()
+                .ok_or_else(|| EvalError(format!("left operand of `{op}` is not boolean")))?;
+            let b = rhs
+                .as_bool()
+                .ok_or_else(|| EvalError(format!("right operand of `{op}` is not boolean")))?;
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let a = numeric(&lhs, "left comparison operand")?;
+            let b = numeric(&rhs, "right comparison operand")?;
+            let r = match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        Add | Sub | Mul | Div | Rem | Min | Max | Pow => {
+            match (lhs, rhs) {
+                (Value::Int(a), Value::Int(b)) => match op {
+                    Add => Ok(Value::Int(a.wrapping_add(b))),
+                    Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                    Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                    Div => {
+                        if b == 0 {
+                            Err(EvalError("integer division by zero".into()))
+                        } else {
+                            Ok(Value::Int(a / b))
+                        }
+                    }
+                    Rem => {
+                        if b == 0 {
+                            Err(EvalError("integer remainder by zero".into()))
+                        } else {
+                            Ok(Value::Int(a % b))
+                        }
+                    }
+                    Min => Ok(Value::Int(a.min(b))),
+                    Max => Ok(Value::Int(a.max(b))),
+                    Pow => {
+                        if b >= 0 && b < 64 {
+                            Ok(Value::Int(a.pow(b as u32)))
+                        } else {
+                            Ok(Value::Float((a as f64).powf(b as f64)))
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+                (l, r) => {
+                    let a = numeric(&l, "left arithmetic operand")?;
+                    let b = numeric(&r, "right arithmetic operand")?;
+                    let v = match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => a / b,
+                        Rem => a % b,
+                        Min => a.min(b),
+                        Max => a.max(b),
+                        Pow => a.powf(b),
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Float(v))
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a unary operator.
+///
+/// # Errors
+///
+/// Returns an error for non-numeric (or, for `Not`, non-boolean) operands.
+pub fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, EvalError> {
+    use UnaryOp::*;
+    match op {
+        Not => Ok(Value::Bool(!v
+            .as_bool()
+            .ok_or_else(|| EvalError(format!("operand of `not` is not boolean: {v}")))?)),
+        Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            other => Ok(Value::Float(-numeric(&other, "operand of negation")?)),
+        },
+        Abs => match v {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            other => Ok(Value::Float(numeric(&other, "operand of abs")?.abs())),
+        },
+        Floor => Ok(Value::Int(numeric(&v, "operand of floor")?.floor() as i64)),
+        Ceil => Ok(Value::Int(numeric(&v, "operand of ceil")?.ceil() as i64)),
+        Sqrt => Ok(Value::Float(numeric(&v, "operand of sqrt")?.sqrt())),
+        Exp => Ok(Value::Float(numeric(&v, "operand of exp")?.exp())),
+        Ln => Ok(Value::Float(numeric(&v, "operand of ln")?.ln())),
+        Sin => Ok(Value::Float(numeric(&v, "operand of sin")?.sin())),
+        Cos => Ok(Value::Float(numeric(&v, "operand of cos")?.cos())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        assert_eq!(
+            eval_binary(BinaryOp::Add, Value::Int(2), Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Mul, Value::Int(4), Value::Int(5)).unwrap(),
+            Value::Int(20)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Min, Value::Int(4), Value::Int(5)).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Pow, Value::Int(2), Value::Int(10)).unwrap(),
+            Value::Int(1024)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        assert_eq!(
+            eval_binary(BinaryOp::Add, Value::Int(2), Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Div, Value::Float(1.0), Value::Float(4.0)).unwrap(),
+            Value::Float(0.25)
+        );
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(
+            eval_binary(BinaryOp::Lt, Value::Int(1), Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Ge, Value::Float(2.0), Value::Int(3)).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::And, Value::Bool(true), Value::Bool(false)).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Or, Value::Int(1), Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error_for_integers_only() {
+        assert!(eval_binary(BinaryOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert!(eval_binary(BinaryOp::Rem, Value::Int(1), Value::Int(0)).is_err());
+        let v = eval_binary(BinaryOp::Div, Value::Float(1.0), Value::Float(0.0)).unwrap();
+        assert!(matches!(v, Value::Float(x) if x.is_infinite()));
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(eval_unary(UnaryOp::Neg, Value::Int(3)).unwrap(), Value::Int(-3));
+        assert_eq!(
+            eval_unary(UnaryOp::Abs, Value::Float(-2.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Sqrt, Value::Int(9)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(eval_unary(UnaryOp::Floor, Value::Float(2.7)).unwrap(), Value::Int(2));
+        assert_eq!(eval_unary(UnaryOp::Ceil, Value::Float(2.1)).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_unary(UnaryOp::Not, Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(eval_unary(UnaryOp::Sqrt, Value::Unit).is_err());
+    }
+
+    #[test]
+    fn array_refs_are_rejected_in_arithmetic() {
+        let arr = Value::ArrayRef(pods_istructure::ArrayId(0));
+        assert!(eval_binary(BinaryOp::Add, arr, Value::Int(1)).is_err());
+        assert!(eval_binary(BinaryOp::Lt, arr, Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! SP instances (frames) and their run-time state.
+
+use pods_istructure::Value;
+use pods_sp::{SlotId, SpId};
+
+/// Globally unique identifier of an SP instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// A "continuation" address: which slot of which instance on which PE should
+/// receive a value token. Used for function returns and deferred array
+/// reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Waiter {
+    /// The PE hosting the instance.
+    pub pe: usize,
+    /// The target instance.
+    pub instance: InstanceId,
+    /// The slot to fill.
+    pub slot: SlotId,
+}
+
+/// Scheduling state of an instance, mirroring the paper's process control
+/// block: running, ready, or blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Waiting in the ready queue for the Execution Unit.
+    Ready,
+    /// Currently executing on the Execution Unit.
+    Running,
+    /// Waiting for a token to arrive in the given slot.
+    Blocked(SlotId),
+}
+
+/// The run-time frame of one SP instance: operand slots with presence bits,
+/// the program counter, and the parent linkage for function results.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The instance identifier.
+    pub id: InstanceId,
+    /// The template this instance executes.
+    pub template: SpId,
+    /// The operand slots (`None` = presence bit clear).
+    pub slots: Vec<Option<Value>>,
+    /// The program counter.
+    pub pc: usize,
+    /// Scheduling state.
+    pub status: InstanceStatus,
+    /// Where to send the return value, for function-call instances.
+    pub return_to: Option<Waiter>,
+}
+
+impl Instance {
+    /// Creates a new instance with `num_slots` empty slots, filling the
+    /// first slots from `args`.
+    pub fn new(
+        id: InstanceId,
+        template: SpId,
+        num_slots: usize,
+        args: &[Value],
+        return_to: Option<Waiter>,
+    ) -> Self {
+        let mut slots = vec![None; num_slots];
+        for (i, v) in args.iter().enumerate() {
+            if i < num_slots {
+                slots[i] = Some(*v);
+            }
+        }
+        Instance {
+            id,
+            template,
+            slots,
+            pc: 0,
+            status: InstanceStatus::Ready,
+            return_to,
+        }
+    }
+
+    /// Reads a slot value if present.
+    pub fn slot(&self, slot: SlotId) -> Option<Value> {
+        self.slots.get(slot.index()).copied().flatten()
+    }
+
+    /// Returns `true` when the slot's presence bit is set.
+    pub fn is_present(&self, slot: SlotId) -> bool {
+        self.slot(slot).is_some()
+    }
+
+    /// Writes a slot value (sets the presence bit).
+    pub fn set_slot(&mut self, slot: SlotId, value: Value) {
+        if slot.index() < self.slots.len() {
+            self.slots[slot.index()] = Some(value);
+        }
+    }
+
+    /// Clears a slot's presence bit (used when issuing a split-phase load
+    /// whose result will overwrite a value from a previous iteration).
+    pub fn clear_slot(&mut self, slot: SlotId) {
+        if slot.index() < self.slots.len() {
+            self.slots[slot.index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_initialisation_fills_parameter_slots() {
+        let inst = Instance::new(
+            InstanceId(1),
+            SpId(0),
+            4,
+            &[Value::Int(5), Value::Float(2.0)],
+            None,
+        );
+        assert_eq!(inst.slot(SlotId(0)), Some(Value::Int(5)));
+        assert_eq!(inst.slot(SlotId(1)), Some(Value::Float(2.0)));
+        assert!(!inst.is_present(SlotId(2)));
+        assert_eq!(inst.status, InstanceStatus::Ready);
+        assert_eq!(inst.pc, 0);
+    }
+
+    #[test]
+    fn slot_updates_and_clears() {
+        let mut inst = Instance::new(InstanceId(2), SpId(1), 2, &[], None);
+        inst.set_slot(SlotId(1), Value::Bool(true));
+        assert!(inst.is_present(SlotId(1)));
+        inst.clear_slot(SlotId(1));
+        assert!(!inst.is_present(SlotId(1)));
+        // Out-of-range accesses are ignored rather than panicking.
+        inst.set_slot(SlotId(99), Value::Int(0));
+        assert_eq!(inst.slot(SlotId(99)), None);
+        assert_eq!(InstanceId(2).to_string(), "inst2");
+    }
+
+    #[test]
+    fn extra_args_beyond_frame_are_dropped() {
+        let inst = Instance::new(
+            InstanceId(3),
+            SpId(0),
+            1,
+            &[Value::Int(1), Value::Int(2)],
+            Some(Waiter {
+                pe: 0,
+                instance: InstanceId(1),
+                slot: SlotId(0),
+            }),
+        );
+        assert_eq!(inst.slots.len(), 1);
+        assert!(inst.return_to.is_some());
+    }
+}

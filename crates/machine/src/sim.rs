@@ -1,0 +1,1291 @@
+//! The PODS machine simulator: a discrete-event, instruction-level model of
+//! a distributed-memory multiprocessor executing Subcompact Processes.
+//!
+//! Each PE has the five functional units of Figure 7 of the paper —
+//! Execution Unit, Matching Unit, Memory Manager, Array Manager, and Routing
+//! Unit — modelled as FIFO servers whose service times come from the §5.1
+//! timing model. The Execution Unit runs the current SP instance until it
+//! terminates or blocks on an absent operand (no preemption); array accesses
+//! are split-phase; remote reads go through the software page cache; and
+//! inter-PE traffic (tokens, spawn requests, page transfers, forwarded
+//! writes, allocation broadcasts) flows through the Routing Units and the
+//! network model.
+
+use crate::eval::{eval_binary, eval_unary};
+use crate::instance::{Instance, InstanceId, InstanceStatus, Waiter};
+use crate::result::{ArraySnapshot, SimulationResult};
+use crate::stats::{PeStats, SimulationStats, UnitState};
+use crate::timing::MachineConfig;
+use pods_istructure::{
+    ArrayId, ArrayMemory, ArrayShape, PageCopy, Partitioning, PeId, ReadOutcome, ReadResult, Value,
+    WriteOutcome,
+};
+use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::rc::Rc;
+
+const EU: usize = 0;
+const MU: usize = 1;
+const MM: usize = 2;
+const AM: usize = 3;
+const RU: usize = 4;
+
+/// Errors terminating a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// All events were drained but some SP instances are still blocked: the
+    /// program deadlocked (e.g. an array element that is read but never
+    /// written).
+    Deadlock {
+        /// Number of instances still alive.
+        stuck_instances: usize,
+        /// Human-readable detail about one stuck instance.
+        detail: String,
+    },
+    /// A run-time error (single-assignment violation, out-of-bounds access,
+    /// arithmetic on non-numeric values, ...).
+    Runtime(String),
+    /// The configured event limit was exceeded.
+    EventLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::Deadlock {
+                stuck_instances,
+                detail,
+            } => write!(f, "deadlock: {stuck_instances} SP instances stuck ({detail})"),
+            SimulationError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            SimulationError::EventLimitExceeded { limit } => {
+                write!(f, "event limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// An inter-PE message.
+#[derive(Debug, Clone)]
+enum Message {
+    /// A data token destined for a specific instance slot.
+    Token {
+        instance: InstanceId,
+        slot: SlotId,
+        value: Value,
+    },
+    /// Spawn an instance of a template (the remote half of an `LD`).
+    Spawn {
+        template: SpId,
+        args: Vec<Value>,
+        return_to: Option<Waiter>,
+    },
+    /// Broadcast half of the distributing allocate.
+    RemoteAlloc {
+        array: ArrayId,
+        name: String,
+        dims: Vec<usize>,
+        distributed: bool,
+        origin: usize,
+    },
+    /// Request for a remote element; the owner replies with the whole page.
+    ReadRequest {
+        array: ArrayId,
+        offset: usize,
+        waiter: Waiter,
+    },
+    /// Page copy plus the requested element value.
+    PageReply {
+        copy: PageCopy,
+        value: Value,
+        waiter: Waiter,
+    },
+    /// A write forwarded to the owning PE.
+    WriteForward {
+        array: ArrayId,
+        offset: usize,
+        value: Value,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// Try to run a ready SP on the PE's Execution Unit.
+    EuRun { pe: usize },
+    /// Deliver a value into an instance slot on the same PE.
+    Deliver {
+        pe: usize,
+        instance: InstanceId,
+        slot: SlotId,
+        value: Value,
+    },
+    /// A message arrives at a PE from the network.
+    NetArrive { pe: usize, msg: Message },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Per-PE mutable state.
+struct PeState {
+    units: [UnitState; 5],
+    memory: ArrayMemory<Waiter>,
+    instances: HashMap<InstanceId, Instance>,
+    ready: VecDeque<InstanceId>,
+    eu_event_pending: bool,
+    stats: PeStats,
+    /// Remote requests that arrived before the array's allocation broadcast.
+    pending_remote: HashMap<ArrayId, Vec<Message>>,
+}
+
+impl PeState {
+    fn new(pe: usize) -> Self {
+        PeState {
+            units: [UnitState::default(); 5],
+            memory: ArrayMemory::new(PeId(pe)),
+            instances: HashMap::new(),
+            ready: VecDeque::new(),
+            eu_event_pending: false,
+            stats: PeStats::default(),
+            pending_remote: HashMap::new(),
+        }
+    }
+}
+
+/// What happened after executing one instruction.
+enum Step {
+    Next,
+    Jump(usize),
+    Finished,
+}
+
+/// The machine simulator.
+///
+/// Construct one with [`Simulation::new`] and call [`Simulation::run`]; or
+/// use the convenience function [`simulate`].
+pub struct Simulation {
+    config: MachineConfig,
+    program: Rc<SpProgram>,
+    pes: Vec<PeState>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    horizon: f64,
+    events_processed: u64,
+    next_instance: u64,
+    next_array: usize,
+    arrays: Vec<(ArrayId, String, ArrayShape)>,
+    entry_instance: InstanceId,
+    result: Option<Value>,
+    error: Option<SimulationError>,
+}
+
+/// Runs `program` with the given `main` arguments on the configured machine.
+///
+/// # Errors
+///
+/// Returns a [`SimulationError`] on deadlock, run-time errors, or when the
+/// configured event limit is exceeded.
+pub fn simulate(
+    program: &SpProgram,
+    main_args: &[Value],
+    config: &MachineConfig,
+) -> Result<SimulationResult, SimulationError> {
+    Simulation::new(program.clone(), config.clone()).run(main_args)
+}
+
+impl Simulation {
+    /// Creates a simulation of `program` on the configured machine.
+    pub fn new(program: SpProgram, config: MachineConfig) -> Self {
+        let num_pes = config.num_pes.max(1);
+        Simulation {
+            config,
+            program: Rc::new(program),
+            pes: (0..num_pes).map(PeState::new).collect(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            horizon: 0.0,
+            events_processed: 0,
+            next_instance: 0,
+            next_array: 0,
+            arrays: Vec::new(),
+            entry_instance: InstanceId(0),
+            result: None,
+            error: None,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimulationError`] on deadlock, run-time errors, or when
+    /// the configured event limit is exceeded.
+    pub fn run(mut self, main_args: &[Value]) -> Result<SimulationResult, SimulationError> {
+        let entry = self.program.entry();
+        self.entry_instance = InstanceId(self.next_instance);
+        self.create_instance(0, entry, main_args.to_vec(), None, 0.0);
+
+        while let Some(Reverse(event)) = self.events.pop() {
+            self.events_processed += 1;
+            if self.config.max_events > 0 && self.events_processed > self.config.max_events {
+                return Err(SimulationError::EventLimitExceeded {
+                    limit: self.config.max_events,
+                });
+            }
+            self.horizon = self.horizon.max(event.time);
+            match event.kind {
+                EventKind::EuRun { pe } => self.process_eu_run(pe, event.time),
+                EventKind::Deliver {
+                    pe,
+                    instance,
+                    slot,
+                    value,
+                } => self.deliver_value(pe, instance, slot, value, event.time),
+                EventKind::NetArrive { pe, msg } => self.process_net_arrive(pe, msg, event.time),
+            }
+            if let Some(err) = self.error.take() {
+                return Err(err);
+            }
+        }
+
+        let stuck: usize = self.pes.iter().map(|p| p.instances.len()).sum();
+        if stuck > 0 {
+            let detail = self
+                .pes
+                .iter()
+                .flat_map(|p| p.instances.values())
+                .next()
+                .map(|inst| {
+                    let template = self.program.template(inst.template);
+                    format!(
+                        "{} of {} blocked at pc {} ({:?})",
+                        inst.id, template.name, inst.pc, inst.status
+                    )
+                })
+                .unwrap_or_default();
+            return Err(SimulationError::Deadlock {
+                stuck_instances: stuck,
+                detail,
+            });
+        }
+
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> SimulationResult {
+        let mut stats = SimulationStats::new(self.pes.len());
+        stats.elapsed_us = self.horizon;
+        stats.events_processed = self.events_processed;
+        for (i, pe) in self.pes.iter_mut().enumerate() {
+            for u in 0..5 {
+                pe.stats.unit_busy[u] = pe.units[u].busy;
+            }
+            stats.per_pe[i] = pe.stats.clone();
+        }
+
+        let mut arrays = Vec::new();
+        for (id, name, shape) in &self.arrays {
+            let mut values = vec![None; shape.len()];
+            for pe in &self.pes {
+                for (offset, v) in pe.memory.local_written(*id) {
+                    if offset < values.len() {
+                        values[offset] = Some(v);
+                    }
+                }
+            }
+            arrays.push(ArraySnapshot {
+                id: *id,
+                name: name.clone(),
+                shape: shape.clone(),
+                values,
+            });
+        }
+
+        SimulationResult {
+            return_value: self.result,
+            arrays,
+            stats,
+        }
+    }
+
+    // ----- event plumbing -----
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.horizon = self.horizon.max(time);
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn schedule_unit(&mut self, pe: usize, unit: usize, now: f64, service: f64) -> f64 {
+        let finish = self.pes[pe].units[unit].schedule(now, service);
+        self.horizon = self.horizon.max(finish);
+        finish
+    }
+
+    fn kick_eu(&mut self, pe: usize, time: f64) {
+        if !self.pes[pe].eu_event_pending && !self.pes[pe].ready.is_empty() {
+            self.pes[pe].eu_event_pending = true;
+            let at = self.pes[pe].units[EU].next_free.max(time);
+            self.push_event(at, EventKind::EuRun { pe });
+        }
+    }
+
+    fn fail(&mut self, msg: impl Into<String>) {
+        if self.error.is_none() {
+            self.error = Some(SimulationError::Runtime(msg.into()));
+        }
+    }
+
+    // ----- instance management -----
+
+    fn create_instance(
+        &mut self,
+        pe: usize,
+        template_id: SpId,
+        args: Vec<Value>,
+        return_to: Option<Waiter>,
+        now: f64,
+    ) {
+        let template = self.program.template(template_id);
+        let num_slots = template.num_slots;
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        // The Memory Manager loads the SP into execution memory and builds
+        // its frame (two free-list operations).
+        let mm_time = 2.0 * self.config.timing.memory_manager_op;
+        let ready_at = self.schedule_unit(pe, MM, now, mm_time);
+        let instance = Instance::new(id, template_id, num_slots, &args, return_to);
+        self.pes[pe].instances.insert(id, instance);
+        self.pes[pe].ready.push_back(id);
+        self.pes[pe].stats.instances_created += 1;
+        self.kick_eu(pe, ready_at);
+    }
+
+    fn deliver_value(
+        &mut self,
+        pe: usize,
+        instance: InstanceId,
+        slot: SlotId,
+        value: Value,
+        time: f64,
+    ) {
+        let mut wake = false;
+        if let Some(inst) = self.pes[pe].instances.get_mut(&instance) {
+            inst.set_slot(slot, value);
+            if inst.status == InstanceStatus::Blocked(slot) {
+                inst.status = InstanceStatus::Ready;
+                wake = true;
+            }
+        }
+        if wake {
+            self.pes[pe].ready.push_back(instance);
+            self.kick_eu(pe, time);
+        }
+    }
+
+    /// Sends a value to a waiter which may live on another PE.
+    fn send_to_waiter(&mut self, from_pe: usize, waiter: Waiter, value: Value, now: f64) {
+        if waiter.pe == from_pe {
+            self.push_event(
+                now,
+                EventKind::Deliver {
+                    pe: from_pe,
+                    instance: waiter.instance,
+                    slot: waiter.slot,
+                    value,
+                },
+            );
+        } else {
+            self.send_message(
+                from_pe,
+                waiter.pe,
+                Message::Token {
+                    instance: waiter.instance,
+                    slot: waiter.slot,
+                    value,
+                },
+                now,
+            );
+        }
+    }
+
+    // ----- messaging -----
+
+    fn message_route_cost(&self, msg: &Message) -> f64 {
+        let t = &self.config.timing;
+        match msg {
+            Message::Token { .. } => t.token_route,
+            Message::Spawn { args, .. } => t.token_route * (1 + args.len()) as f64,
+            Message::RemoteAlloc { .. } => t.token_route * 2.0,
+            Message::ReadRequest { .. } => t.token_route,
+            Message::PageReply { copy, .. } => t.page_message_time(copy.len()),
+            Message::WriteForward { .. } => t.token_route,
+        }
+    }
+
+    fn send_message(&mut self, from_pe: usize, to_pe: usize, msg: Message, now: f64) {
+        let cost = self.message_route_cost(&msg);
+        let finish = self.schedule_unit(from_pe, RU, now, cost);
+        self.pes[from_pe].stats.messages_sent += 1;
+        let arrive = finish + self.config.timing.network_hop;
+        self.push_event(arrive, EventKind::NetArrive { pe: to_pe, msg });
+    }
+
+    fn process_net_arrive(&mut self, pe: usize, msg: Message, time: f64) {
+        let t = self.config.timing.clone();
+        match msg {
+            Message::Token {
+                instance,
+                slot,
+                value,
+            } => {
+                self.pes[pe].stats.tokens_received += 1;
+                let finish = self.schedule_unit(pe, MU, time, t.matching_unit);
+                self.push_event(
+                    finish,
+                    EventKind::Deliver {
+                        pe,
+                        instance,
+                        slot,
+                        value,
+                    },
+                );
+            }
+            Message::Spawn {
+                template,
+                args,
+                return_to,
+            } => {
+                self.pes[pe].stats.tokens_received += 1;
+                let finish = self.schedule_unit(pe, MU, time, t.matching_unit);
+                self.create_instance(pe, template, args, return_to, finish);
+            }
+            Message::RemoteAlloc {
+                array,
+                name,
+                dims,
+                distributed,
+                origin,
+            } => {
+                let finish = self.schedule_unit(pe, AM, time, t.array_allocate);
+                self.register_array(pe, array, &name, &dims, distributed, origin);
+                // Serve any remote requests that raced ahead of the
+                // allocation broadcast.
+                if let Some(pending) = self.pes[pe].pending_remote.remove(&array) {
+                    for msg in pending {
+                        self.push_event(finish, EventKind::NetArrive { pe, msg });
+                    }
+                }
+            }
+            Message::ReadRequest {
+                array,
+                offset,
+                waiter,
+            } => {
+                if self.pes[pe].memory.header(array).is_none() {
+                    self.pes[pe]
+                        .pending_remote
+                        .entry(array)
+                        .or_default()
+                        .push(Message::ReadRequest {
+                            array,
+                            offset,
+                            waiter,
+                        });
+                    return;
+                }
+                match self.pes[pe].memory.read_as_owner(array, offset, waiter) {
+                    Ok(ReadResult::Present(value)) => {
+                        let page = self.pes[pe]
+                            .memory
+                            .header(array)
+                            .map(|h| h.partitioning().page_of(offset))
+                            .unwrap_or(0);
+                        match self.pes[pe].memory.extract_page(array, page) {
+                            Ok(copy) => {
+                                let service = t.send_page(copy.len());
+                                let finish = self.schedule_unit(pe, AM, time, service);
+                                self.send_message(
+                                    pe,
+                                    waiter.pe,
+                                    Message::PageReply {
+                                        copy,
+                                        value,
+                                        waiter,
+                                    },
+                                    finish,
+                                );
+                            }
+                            Err(e) => self.fail(e.to_string()),
+                        }
+                    }
+                    Ok(ReadResult::Deferred) => {
+                        self.schedule_unit(pe, AM, time, t.enqueue_read);
+                    }
+                    Err(e) => self.fail(e.to_string()),
+                }
+            }
+            Message::PageReply {
+                copy,
+                value,
+                waiter,
+            } => {
+                let service = t.receive_page(copy.len());
+                let finish = self.schedule_unit(pe, AM, time, service);
+                if self.config.remote_page_cache {
+                    self.pes[pe].memory.install_page(copy);
+                }
+                self.push_event(
+                    finish,
+                    EventKind::Deliver {
+                        pe,
+                        instance: waiter.instance,
+                        slot: waiter.slot,
+                        value,
+                    },
+                );
+            }
+            Message::WriteForward {
+                array,
+                offset,
+                value,
+            } => {
+                if self.pes[pe].memory.header(array).is_none() {
+                    self.pes[pe]
+                        .pending_remote
+                        .entry(array)
+                        .or_default()
+                        .push(Message::WriteForward {
+                            array,
+                            offset,
+                            value,
+                        });
+                    return;
+                }
+                match self.pes[pe].memory.write(array, offset, value) {
+                    Ok(WriteOutcome::Local { woken }) => {
+                        self.pes[pe].stats.local_writes += 1;
+                        let service =
+                            t.memory_write + woken.len() as f64 * t.unit_signal;
+                        let finish = self.schedule_unit(pe, AM, time, service);
+                        for waiter in woken {
+                            self.send_to_waiter(pe, waiter, value, finish);
+                        }
+                    }
+                    Ok(WriteOutcome::Remote { owner }) => {
+                        // Ownership disagreement should be impossible; route
+                        // onwards to stay safe.
+                        self.send_message(
+                            pe,
+                            owner.index(),
+                            Message::WriteForward {
+                                array,
+                                offset,
+                                value,
+                            },
+                            time,
+                        );
+                    }
+                    Err(e) => self.fail(e.to_string()),
+                }
+            }
+        }
+    }
+
+    fn register_array(
+        &mut self,
+        pe: usize,
+        id: ArrayId,
+        name: &str,
+        dims: &[usize],
+        distributed: bool,
+        origin: usize,
+    ) {
+        let shape = ArrayShape::new(dims.to_vec());
+        let partitioning = if distributed {
+            Partitioning::new(shape.len(), self.config.page_size, self.pes.len())
+        } else {
+            Partitioning::single_owner(
+                shape.len(),
+                self.config.page_size,
+                self.pes.len(),
+                PeId(origin),
+            )
+        };
+        if let Err(e) = self.pes[pe]
+            .memory
+            .allocate(id, name, shape, partitioning)
+        {
+            self.fail(e.to_string());
+        }
+    }
+
+    // ----- Execution Unit -----
+
+    fn process_eu_run(&mut self, pe: usize, time: f64) {
+        self.pes[pe].eu_event_pending = false;
+        let Some(id) = self.pes[pe].ready.pop_front() else {
+            return;
+        };
+        let Some(mut inst) = self.pes[pe].instances.remove(&id) else {
+            // The instance terminated while queued (should not happen).
+            self.kick_eu(pe, time);
+            return;
+        };
+        inst.status = InstanceStatus::Running;
+        let start = self.pes[pe].units[EU].next_free.max(time);
+        let mut t = start;
+        let program = Rc::clone(&self.program);
+        let template = program.template(inst.template);
+        let timing = self.config.timing.clone();
+
+        loop {
+            if self.error.is_some() {
+                break;
+            }
+            if inst.pc >= template.code.len() {
+                self.finish_instance(pe, &inst, None, t);
+                // Frame released by the Memory Manager.
+                self.schedule_unit(pe, MM, t, timing.memory_manager_op);
+                self.pes[pe].units[EU].busy += t - start;
+                self.pes[pe].units[EU].next_free = t;
+                self.kick_eu(pe, t);
+                return;
+            }
+            let instr = &template.code[inst.pc];
+            // Dataflow firing rule: all needed operands must be present.
+            if let Some(missing) = instr
+                .read_slots()
+                .into_iter()
+                .find(|s| !inst.is_present(*s))
+            {
+                t += timing.context_switch;
+                self.pes[pe].stats.context_switches += 1;
+                inst.status = InstanceStatus::Blocked(missing);
+                self.pes[pe].instances.insert(id, inst);
+                self.pes[pe].units[EU].busy += t - start;
+                self.pes[pe].units[EU].next_free = t;
+                self.kick_eu(pe, t);
+                return;
+            }
+            self.pes[pe].stats.instructions += 1;
+            let step = self.execute_instr(pe, &mut inst, instr, &mut t);
+            match step {
+                Step::Next => inst.pc += 1,
+                Step::Jump(target) => inst.pc = target,
+                Step::Finished => {
+                    self.schedule_unit(pe, MM, t, timing.memory_manager_op);
+                    self.pes[pe].units[EU].busy += t - start;
+                    self.pes[pe].units[EU].next_free = t;
+                    self.kick_eu(pe, t);
+                    return;
+                }
+            }
+        }
+
+        // An error occurred mid-run; park the instance so the main loop can
+        // surface the error.
+        self.pes[pe].instances.insert(id, inst);
+        self.pes[pe].units[EU].busy += t - start;
+        self.pes[pe].units[EU].next_free = t;
+    }
+
+    fn operand(&self, inst: &Instance, op: &Operand) -> Value {
+        match op {
+            Operand::Slot(s) => inst.slot(*s).unwrap_or(Value::Unit),
+            Operand::Int(v) => Value::Int(*v),
+            Operand::Float(v) => Value::Float(*v),
+            Operand::Bool(v) => Value::Bool(*v),
+        }
+    }
+
+    fn array_offset(
+        &mut self,
+        pe: usize,
+        array: Value,
+        indices: &[Value],
+    ) -> Option<(ArrayId, usize)> {
+        let Some(id) = array.as_array() else {
+            self.fail(format!("expected an array reference, found {array}"));
+            return None;
+        };
+        let Some(header) = self.pes[pe].memory.header(id) else {
+            self.fail(format!("array {id} has no header on PE{pe}"));
+            return None;
+        };
+        let idx: Vec<i64> = indices.iter().map(|v| v.as_i64().unwrap_or(-1)).collect();
+        match header.offset_of(&idx) {
+            Some(offset) => Some((id, offset)),
+            None => {
+                self.fail(format!(
+                    "index {idx:?} out of bounds for {} array `{}`",
+                    header.shape(),
+                    header.name()
+                ));
+                None
+            }
+        }
+    }
+
+    fn execute_instr(
+        &mut self,
+        pe: usize,
+        inst: &mut Instance,
+        instr: &Instr,
+        t: &mut f64,
+    ) -> Step {
+        let timing = self.config.timing.clone();
+        match instr {
+            Instr::Binary { op, dst, lhs, rhs } => {
+                let a = self.operand(inst, lhs);
+                let b = self.operand(inst, rhs);
+                let float = a.is_float() || b.is_float();
+                *t += timing.binary_op(*op, float);
+                match eval_binary(*op, a, b) {
+                    Ok(v) => inst.set_slot(*dst, v),
+                    Err(e) => self.fail(e.to_string()),
+                }
+                Step::Next
+            }
+            Instr::Unary { op, dst, src } => {
+                let a = self.operand(inst, src);
+                *t += timing.unary_op(*op, a.is_float());
+                match eval_unary(*op, a) {
+                    Ok(v) => inst.set_slot(*dst, v),
+                    Err(e) => self.fail(e.to_string()),
+                }
+                Step::Next
+            }
+            Instr::Move { dst, src } => {
+                let v = self.operand(inst, src);
+                *t += timing.memory_write;
+                inst.set_slot(*dst, v);
+                Step::Next
+            }
+            Instr::Jump { target } => {
+                *t += timing.int_alu;
+                Step::Jump(*target)
+            }
+            Instr::BranchIfFalse { cond, target } => {
+                let c = self.operand(inst, cond).as_bool().unwrap_or(false);
+                *t += timing.int_alu;
+                if c {
+                    Step::Next
+                } else {
+                    Step::Jump(*target)
+                }
+            }
+            Instr::ArrayAlloc {
+                dst,
+                name,
+                dims,
+                distributed,
+            } => {
+                let dim_values: Vec<usize> = dims
+                    .iter()
+                    .map(|d| self.operand(inst, d).as_i64().unwrap_or(0).max(0) as usize)
+                    .collect();
+                if dim_values.iter().any(|&d| d == 0) {
+                    self.fail(format!("array `{name}` allocated with a zero dimension"));
+                    return Step::Next;
+                }
+                *t += timing.unit_signal;
+                inst.clear_slot(*dst);
+                let id = ArrayId(self.next_array);
+                self.next_array += 1;
+                self.arrays
+                    .push((id, name.clone(), ArrayShape::new(dim_values.clone())));
+                self.register_array(pe, id, name, &dim_values, *distributed, pe);
+                self.pes[pe].stats.local_writes += 0; // allocation is not a write
+                let finish = self.schedule_unit(pe, AM, *t, timing.array_allocate);
+                // The array ID token is returned to the requesting SP.
+                self.push_event(
+                    finish,
+                    EventKind::Deliver {
+                        pe,
+                        instance: inst.id,
+                        slot: *dst,
+                        value: Value::ArrayRef(id),
+                    },
+                );
+                // Distributing allocate: broadcast the request to all PEs.
+                if *distributed {
+                    for q in 0..self.pes.len() {
+                        if q != pe {
+                            self.send_message(
+                                pe,
+                                q,
+                                Message::RemoteAlloc {
+                                    array: id,
+                                    name: name.clone(),
+                                    dims: dim_values.clone(),
+                                    distributed: true,
+                                    origin: pe,
+                                },
+                                finish,
+                            );
+                        }
+                    }
+                }
+                Step::Next
+            }
+            Instr::ArrayLoad {
+                dst,
+                array,
+                indices,
+            } => {
+                let array_v = self.operand(inst, array);
+                let idx: Vec<Value> = indices.iter().map(|i| self.operand(inst, i)).collect();
+                let Some((id, offset)) = self.array_offset(pe, array_v, &idx) else {
+                    return Step::Next;
+                };
+                *t += timing.local_array_access;
+                let waiter = Waiter {
+                    pe,
+                    instance: inst.id,
+                    slot: *dst,
+                };
+                match self.pes[pe].memory.read(id, offset, waiter) {
+                    Ok(ReadOutcome::LocalPresent(v)) => {
+                        self.pes[pe].stats.local_reads += 1;
+                        inst.set_slot(*dst, v);
+                    }
+                    Ok(ReadOutcome::CacheHit(v)) => {
+                        self.pes[pe].stats.cache_hit_reads += 1;
+                        inst.set_slot(*dst, v);
+                    }
+                    Ok(ReadOutcome::LocalDeferred) => {
+                        self.pes[pe].stats.deferred_reads += 1;
+                        inst.clear_slot(*dst);
+                        self.schedule_unit(pe, AM, *t, timing.enqueue_read);
+                    }
+                    Ok(ReadOutcome::RemoteMiss { owner, .. }) => {
+                        self.pes[pe].stats.remote_reads += 1;
+                        inst.clear_slot(*dst);
+                        let finish = self.schedule_unit(
+                            pe,
+                            AM,
+                            *t,
+                            timing.memory_read + timing.unit_signal,
+                        );
+                        self.send_message(
+                            pe,
+                            owner.index(),
+                            Message::ReadRequest {
+                                array: id,
+                                offset,
+                                waiter,
+                            },
+                            finish,
+                        );
+                    }
+                    Err(e) => self.fail(e.to_string()),
+                }
+                Step::Next
+            }
+            Instr::ArrayStore {
+                array,
+                indices,
+                value,
+            } => {
+                let array_v = self.operand(inst, array);
+                let idx: Vec<Value> = indices.iter().map(|i| self.operand(inst, i)).collect();
+                let v = self.operand(inst, value);
+                let Some((id, offset)) = self.array_offset(pe, array_v, &idx) else {
+                    return Step::Next;
+                };
+                *t += timing.local_array_access;
+                match self.pes[pe].memory.write(id, offset, v) {
+                    Ok(WriteOutcome::Local { woken }) => {
+                        self.pes[pe].stats.local_writes += 1;
+                        let service =
+                            timing.memory_write + woken.len() as f64 * timing.unit_signal;
+                        let finish = self.schedule_unit(pe, AM, *t, service);
+                        for waiter in woken {
+                            self.send_to_waiter(pe, waiter, v, finish);
+                        }
+                    }
+                    Ok(WriteOutcome::Remote { owner }) => {
+                        self.pes[pe].stats.remote_writes += 1;
+                        let finish = self.schedule_unit(
+                            pe,
+                            AM,
+                            *t,
+                            timing.memory_write + timing.unit_signal,
+                        );
+                        self.send_message(
+                            pe,
+                            owner.index(),
+                            Message::WriteForward {
+                                array: id,
+                                offset,
+                                value: v,
+                            },
+                            finish,
+                        );
+                    }
+                    Err(e) => self.fail(e.to_string()),
+                }
+                Step::Next
+            }
+            Instr::Spawn {
+                target,
+                args,
+                distributed,
+                ret,
+            } => {
+                let arg_values: Vec<Value> = args.iter().map(|a| self.operand(inst, a)).collect();
+                let return_to = ret.map(|slot| {
+                    inst.clear_slot(slot);
+                    Waiter {
+                        pe,
+                        instance: inst.id,
+                        slot,
+                    }
+                });
+                *t += timing.unit_signal;
+                if *distributed {
+                    for q in 0..self.pes.len() {
+                        if q == pe {
+                            self.create_instance(pe, *target, arg_values.clone(), return_to, *t);
+                        } else {
+                            self.send_message(
+                                pe,
+                                q,
+                                Message::Spawn {
+                                    template: *target,
+                                    args: arg_values.clone(),
+                                    return_to: None,
+                                },
+                                *t,
+                            );
+                        }
+                    }
+                } else {
+                    self.create_instance(pe, *target, arg_values, return_to, *t);
+                }
+                Step::Next
+            }
+            Instr::RangeLo {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            }
+            | Instr::RangeHi {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            } => {
+                let is_lo = matches!(instr, Instr::RangeLo { .. });
+                let array_v = self.operand(inst, array);
+                let default_v = self.operand(inst, default).as_i64().unwrap_or(0);
+                let outer_v = outer
+                    .as_ref()
+                    .map(|o| self.operand(inst, o).as_i64().unwrap_or(0));
+                *t += 5.0 * timing.memory_read;
+                let Some(id) = array_v.as_array() else {
+                    self.fail(format!("range filter on a non-array value {array_v}"));
+                    return Step::Next;
+                };
+                let Some(header) = self.pes[pe].memory.header(id) else {
+                    self.fail(format!("range filter: array {id} unknown on PE{pe}"));
+                    return Step::Next;
+                };
+                let range = header.responsibility(PeId(pe), *dim, outer_v);
+                let value = if is_lo {
+                    default_v.max(range.start)
+                } else {
+                    default_v.min(range.end)
+                };
+                inst.set_slot(*dst, Value::Int(value));
+                Step::Next
+            }
+            Instr::Return { value } => {
+                let v = value.as_ref().map(|op| self.operand(inst, op));
+                *t += timing.int_alu;
+                self.finish_instance(pe, inst, v, *t);
+                Step::Finished
+            }
+        }
+    }
+
+    fn finish_instance(&mut self, pe: usize, inst: &Instance, value: Option<Value>, now: f64) {
+        if inst.id == self.entry_instance {
+            self.result = value;
+            return;
+        }
+        if let (Some(waiter), Some(v)) = (inst.return_to, value) {
+            self.send_to_waiter(pe, waiter, v, now + self.config.timing.unit_signal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Unit;
+    use pods_partition::{partition, PartitionConfig};
+
+    fn compile_and_partition(src: &str) -> SpProgram {
+        let hir = pods_idlang::compile(src).unwrap();
+        let loops = pods_dataflow::analyze_loops(&hir);
+        let mut program = pods_sp::translate(&hir).unwrap();
+        partition(&mut program, &loops, &PartitionConfig::default());
+        program
+    }
+
+    fn run(src: &str, args: &[Value], pes: usize) -> SimulationResult {
+        let program = compile_and_partition(src);
+        simulate(&program, args, &MachineConfig::with_pes(pes)).unwrap()
+    }
+
+    #[test]
+    fn scalar_program_returns_a_value() {
+        let result = run("def main(n) { return n * 3 + 1; }", &[Value::Int(4)], 1);
+        assert_eq!(result.return_value, Some(Value::Int(13)));
+        assert!(result.stats.elapsed_us > 0.0);
+    }
+
+    #[test]
+    fn function_calls_return_through_tokens() {
+        let result = run(
+            "def main(n) { x = double(n); return x + 1; } def double(v) { return v * 2; }",
+            &[Value::Int(10)],
+            1,
+        );
+        assert_eq!(result.return_value, Some(Value::Int(21)));
+    }
+
+    #[test]
+    fn simple_loop_fills_an_array_on_one_pe() {
+        let result = run(
+            "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * i; } return a; }",
+            &[Value::Int(8)],
+            1,
+        );
+        let a = result.returned_array().expect("array result");
+        assert!(a.is_complete());
+        assert_eq!(a.get(&[5]), Some(Value::Int(25)));
+    }
+
+    #[test]
+    fn distributed_nested_loop_produces_identical_results_on_any_pe_count() {
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                for i = 0 to n - 1 {
+                    for j = 0 to n - 1 {
+                        a[i, j] = i * n + j;
+                    }
+                }
+                return a;
+            }
+        "#;
+        let reference = run(src, &[Value::Int(8)], 1);
+        let ref_values = reference.returned_array().unwrap().to_f64(-1.0);
+        for pes in [2, 4, 8] {
+            let result = run(src, &[Value::Int(8)], pes);
+            let a = result.returned_array().unwrap();
+            assert!(a.is_complete(), "incomplete array on {pes} PEs");
+            assert_eq!(a.to_f64(-1.0), ref_values, "wrong values on {pes} PEs");
+        }
+    }
+
+    #[test]
+    fn multi_pe_runs_are_faster_for_parallel_work() {
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                for i = 0 to n - 1 {
+                    for j = 0 to n - 1 {
+                        a[i, j] = sqrt(i * 1.0) * sqrt(j * 1.0) + 2.5;
+                    }
+                }
+                return a;
+            }
+        "#;
+        let one = run(src, &[Value::Int(16)], 1);
+        let four = run(src, &[Value::Int(16)], 4);
+        assert!(four.returned_array().unwrap().is_complete());
+        assert!(
+            four.elapsed_us() < one.elapsed_us(),
+            "4 PEs ({}) not faster than 1 PE ({})",
+            four.elapsed_us(),
+            one.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_writes() {
+        // main reads elements produced by the distributed loop; I-structure
+        // semantics must synchronise the read with the write.
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                for i = 0 to n - 1 { a[i] = i * 2; }
+                s = a[n - 1] + a[0];
+                return s;
+            }
+        "#;
+        let result = run(src, &[Value::Int(10)], 4);
+        assert_eq!(result.return_value, Some(Value::Int(18)));
+        // Reads of remote or pending elements force context switches.
+        assert!(result.stats.total_context_switches() > 0);
+    }
+
+    #[test]
+    fn single_assignment_violation_is_a_runtime_error() {
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                for i = 0 to n - 1 { a[0] = i; }
+                return a;
+            }
+        "#;
+        let program = compile_and_partition(src);
+        let err = simulate(&program, &[Value::Int(4)], &MachineConfig::with_pes(1)).unwrap_err();
+        assert!(matches!(err, SimulationError::Runtime(_)), "{err}");
+    }
+
+    #[test]
+    fn reading_a_never_written_element_deadlocks() {
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                a[0] = 1;
+                return a[1];
+            }
+        "#;
+        let program = compile_and_partition(src);
+        let err = simulate(&program, &[Value::Int(4)], &MachineConfig::with_pes(1)).unwrap_err();
+        assert!(matches!(err, SimulationError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_reported() {
+        let src = "def main(n) { a = array(n); a[n + 5] = 1; return 0; }";
+        let program = compile_and_partition(src);
+        let err = simulate(&program, &[Value::Int(4)], &MachineConfig::with_pes(1)).unwrap_err();
+        assert!(matches!(err, SimulationError::Runtime(_)));
+    }
+
+    #[test]
+    fn event_limit_aborts_runaway_simulations() {
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                for i = 0 to n - 1 { for j = 0 to n - 1 { a[i, j] = i + j; } }
+                return a;
+            }
+        "#;
+        let program = compile_and_partition(src);
+        let config = MachineConfig {
+            num_pes: 4,
+            max_events: 10,
+            ..MachineConfig::default()
+        };
+        let err = simulate(&program, &[Value::Int(8)], &config).unwrap_err();
+        assert!(matches!(err, SimulationError::EventLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn descending_loops_execute_correctly_distributed() {
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                for i = n - 1 downto 0 { a[i] = i + 100; }
+                return a;
+            }
+        "#;
+        let result = run(src, &[Value::Int(20)], 4);
+        let a = result.returned_array().unwrap();
+        assert!(a.is_complete());
+        assert_eq!(a.get(&[3]), Some(Value::Int(103)));
+    }
+
+    #[test]
+    fn remote_reads_use_the_page_cache() {
+        // A second loop reads elements written by the first with an offset
+        // shifted by one row, forcing some remote reads; the cache should
+        // absorb repeated accesses to the same page.
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                b = matrix(n, n);
+                for i = 0 to n - 1 {
+                    for j = 0 to n - 1 { a[i, j] = i * n + j; }
+                }
+                for i = 1 to n - 1 {
+                    for j = 0 to n - 1 { b[i, j] = a[i - 1, j] * 2; }
+                }
+                return b;
+            }
+        "#;
+        let result = run(src, &[Value::Int(16)], 4);
+        assert!(result.array("b").unwrap().get(&[1, 0]).is_some());
+        let stats = &result.stats;
+        assert!(
+            stats.total_remote_reads() > 0,
+            "expected some remote traffic"
+        );
+        assert!(
+            stats.total_cache_hits() > 0,
+            "expected the page cache to serve repeated reads"
+        );
+    }
+
+    #[test]
+    fn utilization_report_shows_eu_as_the_busiest_unit() {
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                for i = 0 to n - 1 {
+                    for j = 0 to n - 1 { a[i, j] = sqrt(i * 1.0 + j) * 3.0; }
+                }
+                return a;
+            }
+        "#;
+        let result = run(src, &[Value::Int(16)], 4);
+        let eu = result.stats.utilization(Unit::Execution);
+        for unit in [Unit::Matching, Unit::MemoryManager, Unit::Routing] {
+            assert!(
+                eu >= result.stats.utilization(unit),
+                "EU ({eu}) should dominate {unit}"
+            );
+        }
+        assert!(eu > 0.0 && eu <= 1.0);
+    }
+}

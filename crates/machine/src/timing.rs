@@ -1,0 +1,297 @@
+//! The iPSC/2 timing model of §5.1 of the paper.
+//!
+//! All times are in microseconds. The constants come straight from the
+//! paper: the measured per-instruction execution times of the 16 MHz
+//! 80386/80387 nodes, Dunigan's message-time formulas for the
+//! Direct-Connect communication hardware, the functional-unit service
+//! times (Matching Unit, Memory Manager, Array Manager), and the derived
+//! quantities (local array read, fast context switch, batched token cost).
+//! Operations the paper does not list (integer multiply, transcendental
+//! functions other than `pow`) carry documented estimates of the same
+//! order of magnitude as their published neighbours.
+
+use pods_idlang::{BinaryOp, UnaryOp};
+use pods_istructure::Value;
+
+/// Timing constants of the simulated machine, in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// Integer add / subtract / compare (paper: 0.300).
+    pub int_alu: f64,
+    /// Bitwise and logical operations (paper: 0.558).
+    pub logical: f64,
+    /// Integer multiply / divide (estimate, not listed in the paper).
+    pub int_mul: f64,
+    /// Floating-point negate (paper: 0.555).
+    pub float_neg: f64,
+    /// Floating-point compare (paper: 5.803).
+    pub float_cmp: f64,
+    /// Floating-point power (paper: 96.418).
+    pub float_pow: f64,
+    /// Floating-point absolute value (paper: 12.626).
+    pub float_abs: f64,
+    /// Floating-point square root (paper: 18.929).
+    pub float_sqrt: f64,
+    /// Floating-point multiply (paper: 7.217).
+    pub float_mul: f64,
+    /// Floating-point divide (paper: 10.707).
+    pub float_div: f64,
+    /// Floating-point add (paper: 6.753).
+    pub float_add: f64,
+    /// Floating-point subtract (paper: 6.757).
+    pub float_sub: f64,
+    /// Transcendental functions (exp, ln, sin, cos) — estimate between the
+    /// published sqrt and pow times.
+    pub float_transcendental: f64,
+    /// Fast context switch: 80386 `CALL ptr16:32`, 21 cycles at 16 MHz
+    /// (paper: 1.312).
+    pub context_switch: f64,
+    /// Local array read issued by the Execution Unit: offset computation,
+    /// three comparisons, and the local read (paper: 2.7).
+    pub local_array_access: f64,
+    /// Matching Unit hash-table lookup per incoming token (paper: 15.0).
+    pub matching_unit: f64,
+    /// Memory Manager linked-list add/delete (paper: 0.9).
+    pub memory_manager_op: f64,
+    /// Local memory read (paper: 0.3).
+    pub memory_read: f64,
+    /// Local memory write (paper: 0.4).
+    pub memory_write: f64,
+    /// Signal between functional units on the same PE (paper: 1.0).
+    pub unit_signal: f64,
+    /// Time to push an early (deferred) read onto the queue (paper: 2.9).
+    pub enqueue_read: f64,
+    /// Array allocation handled by the Array Manager (paper: 100.0).
+    pub array_allocate: f64,
+    /// Per-token Routing Unit cost when tokens are batched in groups of 20
+    /// (paper: 19.5).
+    pub token_route: f64,
+    /// Fixed cost of a short (≤ 100 byte) message (Dunigan: 390).
+    pub small_message: f64,
+    /// Fixed part of a long message (Dunigan: 697).
+    pub long_message_base: f64,
+    /// Per-byte part of a long message (Dunigan: 0.4).
+    pub long_message_per_byte: f64,
+    /// Network propagation time, assuming 2.5 hops on average (paper: 2.5).
+    pub network_hop: f64,
+    /// Bytes per array element when computing page-message lengths.
+    pub bytes_per_element: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            int_alu: 0.300,
+            logical: 0.558,
+            int_mul: 0.558,
+            float_neg: 0.555,
+            float_cmp: 5.803,
+            float_pow: 96.418,
+            float_abs: 12.626,
+            float_sqrt: 18.929,
+            float_mul: 7.217,
+            float_div: 10.707,
+            float_add: 6.753,
+            float_sub: 6.757,
+            float_transcendental: 40.0,
+            context_switch: 1.312,
+            local_array_access: 2.7,
+            matching_unit: 15.0,
+            memory_manager_op: 0.9,
+            memory_read: 0.3,
+            memory_write: 0.4,
+            unit_signal: 1.0,
+            enqueue_read: 2.9,
+            array_allocate: 100.0,
+            token_route: 19.5,
+            small_message: 390.0,
+            long_message_base: 697.0,
+            long_message_per_byte: 0.4,
+            network_hop: 2.5,
+            bytes_per_element: 8.0,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Execution-Unit time of a binary operation, depending on whether the
+    /// operands are floating point.
+    pub fn binary_op(&self, op: BinaryOp, float: bool) -> f64 {
+        use BinaryOp::*;
+        if float {
+            match op {
+                Add => self.float_add,
+                Sub => self.float_sub,
+                Mul => self.float_mul,
+                Div | Rem => self.float_div,
+                Pow => self.float_pow,
+                Eq | Ne | Lt | Le | Gt | Ge | Min | Max => self.float_cmp,
+                And | Or => self.logical,
+            }
+        } else {
+            match op {
+                Add | Sub | Eq | Ne | Lt | Le | Gt | Ge | Min | Max => self.int_alu,
+                Mul | Div | Rem | Pow => self.int_mul,
+                And | Or => self.logical,
+            }
+        }
+    }
+
+    /// Execution-Unit time of a unary operation.
+    pub fn unary_op(&self, op: UnaryOp, float: bool) -> f64 {
+        use UnaryOp::*;
+        match op {
+            Neg => {
+                if float {
+                    self.float_neg
+                } else {
+                    self.int_alu
+                }
+            }
+            Not => self.logical,
+            Sqrt => self.float_sqrt,
+            Abs => {
+                if float {
+                    self.float_abs
+                } else {
+                    self.int_alu
+                }
+            }
+            Exp | Ln | Sin | Cos => self.float_transcendental,
+            Floor | Ceil => self.float_neg,
+        }
+    }
+
+    /// Whether a binary operation on these operand values is charged at
+    /// floating-point cost.
+    pub fn operands_are_float(lhs: &Value, rhs: &Value) -> bool {
+        lhs.is_float() || rhs.is_float()
+    }
+
+    /// Dunigan message time for a message of `bytes` payload bytes.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        if bytes <= 100 {
+            self.small_message
+        } else {
+            self.long_message_base + self.long_message_per_byte * bytes as f64
+        }
+    }
+
+    /// Routing-Unit time to ship one page of `page_elements` elements.
+    pub fn page_message_time(&self, page_elements: usize) -> f64 {
+        self.message_time((page_elements as f64 * self.bytes_per_element) as usize)
+    }
+
+    /// Array-Manager time to extract ("send") a page of `page_elements`.
+    pub fn send_page(&self, page_elements: usize) -> f64 {
+        page_elements as f64 * self.memory_read + self.unit_signal
+    }
+
+    /// Array-Manager time to install ("receive") a page of `page_elements`.
+    pub fn receive_page(&self, page_elements: usize) -> f64 {
+        page_elements as f64 * self.memory_write
+    }
+}
+
+/// Configuration of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processing elements.
+    pub num_pes: usize,
+    /// Page size in array elements (the paper determined 32 elements /
+    /// roughly 2 KB to be best for the iPSC/2).
+    pub page_size: usize,
+    /// Enable the software page cache for remote reads.
+    pub remote_page_cache: bool,
+    /// The timing constants.
+    pub timing: TimingModel,
+    /// Safety valve: abort the simulation after this many processed events
+    /// (0 disables the limit).
+    pub max_events: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_pes: 1,
+            page_size: 32,
+            remote_page_cache: true,
+            timing: TimingModel::default(),
+            max_events: 0,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A configuration with the given number of PEs and paper defaults for
+    /// everything else.
+    pub fn with_pes(num_pes: usize) -> Self {
+        MachineConfig {
+            num_pes: num_pes.max(1),
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_reproduced() {
+        let t = TimingModel::default();
+        assert_eq!(t.binary_op(BinaryOp::Add, false), 0.300);
+        assert_eq!(t.binary_op(BinaryOp::Add, true), 6.753);
+        assert_eq!(t.binary_op(BinaryOp::Mul, true), 7.217);
+        assert_eq!(t.binary_op(BinaryOp::Div, true), 10.707);
+        assert_eq!(t.binary_op(BinaryOp::Pow, true), 96.418);
+        assert_eq!(t.binary_op(BinaryOp::Lt, true), 5.803);
+        assert_eq!(t.unary_op(UnaryOp::Sqrt, true), 18.929);
+        assert_eq!(t.unary_op(UnaryOp::Abs, true), 12.626);
+        assert_eq!(t.unary_op(UnaryOp::Neg, true), 0.555);
+        assert_eq!(t.unary_op(UnaryOp::Neg, false), 0.300);
+        assert_eq!(t.context_switch, 1.312);
+        assert_eq!(t.local_array_access, 2.7);
+        assert_eq!(t.matching_unit, 15.0);
+    }
+
+    #[test]
+    fn dunigan_message_times() {
+        let t = TimingModel::default();
+        assert_eq!(t.message_time(50), 390.0);
+        assert_eq!(t.message_time(100), 390.0);
+        let long = t.message_time(256);
+        assert!((long - (697.0 + 0.4 * 256.0)).abs() < 1e-9);
+        // A 32-element page is 256 bytes.
+        assert!((t.page_message_time(32) - long).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_transfer_costs_scale_with_page_size() {
+        let t = TimingModel::default();
+        assert!((t.send_page(32) - (32.0 * 0.3 + 1.0)).abs() < 1e-9);
+        assert!((t.receive_page(32) - 32.0 * 0.4).abs() < 1e-9);
+        assert!(t.send_page(64) > t.send_page(32));
+    }
+
+    #[test]
+    fn float_detection_for_operand_pairs() {
+        assert!(TimingModel::operands_are_float(
+            &Value::Float(1.0),
+            &Value::Int(2)
+        ));
+        assert!(!TimingModel::operands_are_float(
+            &Value::Int(1),
+            &Value::Int(2)
+        ));
+    }
+
+    #[test]
+    fn machine_config_defaults_match_the_paper() {
+        let c = MachineConfig::default();
+        assert_eq!(c.page_size, 32);
+        assert!(c.remote_page_cache);
+        assert_eq!(MachineConfig::with_pes(0).num_pes, 1);
+        assert_eq!(MachineConfig::with_pes(32).num_pes, 32);
+    }
+}

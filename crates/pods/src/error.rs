@@ -1,0 +1,89 @@
+//! The unified error type of the top-level PODS library.
+
+use pods_idlang::CompileError;
+use pods_machine::SimulationError;
+use pods_sp::TranslateError;
+
+/// Any error the PODS pipeline can produce, from parsing the declarative
+/// source all the way to simulating it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PodsError {
+    /// The source program failed to compile (lexing, parsing, or semantic
+    /// analysis).
+    Compile(CompileError),
+    /// The HIR could not be translated into Subcompact Processes.
+    Translate(TranslateError),
+    /// The simulation failed (deadlock, run-time error, event limit).
+    Simulation(SimulationError),
+    /// The program has no `main` entry function.
+    MissingEntry,
+    /// The number of `main` arguments does not match the declaration.
+    ArgumentMismatch {
+        /// Parameters declared by `main`.
+        expected: usize,
+        /// Arguments supplied to the run.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PodsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodsError::Compile(e) => write!(f, "{e}"),
+            PodsError::Translate(e) => write!(f, "{e}"),
+            PodsError::Simulation(e) => write!(f, "{e}"),
+            PodsError::MissingEntry => write!(f, "program has no `main` function"),
+            PodsError::ArgumentMismatch { expected, got } => write!(
+                f,
+                "`main` takes {expected} argument(s) but {got} were supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PodsError {}
+
+impl From<CompileError> for PodsError {
+    fn from(value: CompileError) -> Self {
+        PodsError::Compile(value)
+    }
+}
+
+impl From<TranslateError> for PodsError {
+    fn from(value: TranslateError) -> Self {
+        PodsError::Translate(value)
+    }
+}
+
+impl From<SimulationError> for PodsError {
+    fn from(value: SimulationError) -> Self {
+        PodsError::Simulation(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<PodsError> = vec![
+            PodsError::MissingEntry,
+            PodsError::ArgumentMismatch {
+                expected: 2,
+                got: 1,
+            },
+            PodsError::Simulation(SimulationError::Runtime("boom".into())),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_stage_errors() {
+        let ce = pods_idlang::compile("def main() { return $; }").unwrap_err();
+        let pe: PodsError = ce.into();
+        assert!(matches!(pe, PodsError::Compile(_)));
+    }
+}

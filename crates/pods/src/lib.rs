@@ -1,0 +1,56 @@
+//! PODS — a Process-Oriented Dataflow System.
+//!
+//! This crate is the top-level library of the reproduction of *Exploiting
+//! Iteration-Level Parallelism in Dataflow Programs* (Bic, Roy, Nagel). It
+//! wires together the full pipeline of the paper's Figure 3:
+//!
+//! 1. **`idlang` front end** — a small Id-Nouveau-like declarative,
+//!    single-assignment language ([`pods_idlang`]),
+//! 2. **dataflow graphs and loop analysis** ([`pods_dataflow`]),
+//! 3. **the PODS Translator** — each function and loop level becomes a
+//!    Subcompact Process ([`pods_sp`]),
+//! 4. **the PODS Partitioner** — distributing allocate, `LD` operators, and
+//!    Range Filters ([`pods_partition`]),
+//! 5. **the machine simulator** — an instruction-level model of an
+//!    iPSC/2-like distributed-memory multiprocessor with I-structure memory
+//!    ([`pods_machine`], [`pods_istructure`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pods::{compile, RunOptions, Value};
+//!
+//! let program = compile(
+//!     "def main(n) {
+//!          a = matrix(n, n);
+//!          for i = 0 to n - 1 {
+//!              for j = 0 to n - 1 { a[i, j] = i * n + j; }
+//!          }
+//!          return a;
+//!      }",
+//! )?;
+//! let outcome = program.run(&[Value::Int(8)], &RunOptions::with_pes(4))?;
+//! assert!(outcome.result.returned_array().unwrap().is_complete());
+//! # Ok::<(), pods::PodsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod pipeline;
+pub mod report;
+
+pub use error::PodsError;
+pub use pipeline::{
+    compile, compile_and_run, speedup_sweep, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
+};
+
+// Re-export the pieces a downstream user needs to drive runs and interpret
+// results without depending on every sub-crate explicitly.
+pub use pods_istructure::{ArrayId, ArrayShape, Value};
+pub use pods_machine::{
+    ArraySnapshot, MachineConfig, SimulationError, SimulationResult, SimulationStats, TimingModel,
+    Unit,
+};
+pub use pods_partition::{LoopDecision, PartitionConfig, PartitionReport};

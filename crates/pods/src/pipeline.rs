@@ -1,0 +1,309 @@
+//! The end-to-end PODS pipeline: source → HIR → dataflow graphs → SPs →
+//! partitioned SPs → simulation (paper Figure 3).
+
+use crate::error::PodsError;
+use pods_dataflow::{analyze_loops, build_program, DataflowProgram, LoopInfo};
+use pods_idlang::HirProgram;
+use pods_istructure::Value;
+use pods_machine::{simulate, MachineConfig, SimulationResult};
+use pods_partition::{partition, PartitionConfig, PartitionReport};
+use pods_sp::{translate, SpProgram};
+
+/// Options controlling a PODS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Number of processing elements.
+    pub num_pes: usize,
+    /// Array page size in elements (paper default: 32).
+    pub page_size: usize,
+    /// Enable the software cache for remote pages.
+    pub remote_page_cache: bool,
+    /// Partitioner configuration (distribution, Range Filters, LCD
+    /// handling).
+    pub partition: PartitionConfig,
+    /// Safety limit on simulation events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            num_pes: 1,
+            page_size: 32,
+            remote_page_cache: true,
+            partition: PartitionConfig::default(),
+            max_events: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for a machine with `num_pes` PEs and paper defaults otherwise.
+    pub fn with_pes(num_pes: usize) -> Self {
+        RunOptions {
+            num_pes: num_pes.max(1),
+            ..RunOptions::default()
+        }
+    }
+
+    /// The corresponding machine configuration.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            num_pes: self.num_pes,
+            page_size: self.page_size,
+            remote_page_cache: self.remote_page_cache,
+            timing: Default::default(),
+            max_events: self.max_events,
+        }
+    }
+}
+
+/// A compiled PODS program, ready to be partitioned and run on any machine
+/// size.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    hir: HirProgram,
+    graph: DataflowProgram,
+    loops: Vec<LoopInfo>,
+    sp: SpProgram,
+}
+
+impl CompiledProgram {
+    /// The lowered HIR.
+    pub fn hir(&self) -> &HirProgram {
+        &self.hir
+    }
+
+    /// The dataflow graphs (one code block per function and loop level).
+    pub fn graph(&self) -> &DataflowProgram {
+        &self.graph
+    }
+
+    /// The loop-nest analysis (LCDs, distribution targets).
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// The untransformed SP program (before partitioning).
+    pub fn sp_program(&self) -> &SpProgram {
+        &self.sp
+    }
+
+    /// Number of parameters of `main`.
+    pub fn main_arity(&self) -> Option<usize> {
+        self.hir.entry().map(|f| f.params.len())
+    }
+
+    /// Partitions the SP program for the given options and returns it
+    /// together with the partition report.
+    pub fn partitioned(&self, options: &RunOptions) -> (SpProgram, PartitionReport) {
+        let mut program = self.sp.clone();
+        let report = partition(&mut program, &self.loops, &options.partition);
+        (program, report)
+    }
+
+    /// Runs the program on the simulated machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodsError::MissingEntry`] / [`PodsError::ArgumentMismatch`]
+    /// for malformed invocations and [`PodsError::Simulation`] for run-time
+    /// failures.
+    pub fn run(&self, args: &[Value], options: &RunOptions) -> Result<RunOutcome, PodsError> {
+        let Some(entry) = self.hir.entry() else {
+            return Err(PodsError::MissingEntry);
+        };
+        if entry.params.len() != args.len() {
+            return Err(PodsError::ArgumentMismatch {
+                expected: entry.params.len(),
+                got: args.len(),
+            });
+        }
+        let (program, report) = self.partitioned(options);
+        let result = simulate(&program, args, &options.machine_config())?;
+        Ok(RunOutcome {
+            result,
+            partition: report,
+        })
+    }
+}
+
+/// The outcome of a PODS run: the simulation result plus the partitioning
+/// decisions that produced it.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Final arrays, return value, and machine statistics.
+    pub result: SimulationResult,
+    /// The partitioner's per-loop decisions.
+    pub partition: PartitionReport,
+}
+
+impl RunOutcome {
+    /// Elapsed simulated time in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        self.result.elapsed_us()
+    }
+
+    /// Elapsed simulated time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.result.stats.elapsed_seconds()
+    }
+}
+
+/// Compiles `source` through the full front half of the pipeline (compile,
+/// graph construction, loop analysis, SP translation).
+///
+/// # Errors
+///
+/// Returns a [`PodsError`] describing the first failing stage.
+pub fn compile(source: &str) -> Result<CompiledProgram, PodsError> {
+    let hir = pods_idlang::compile(source)?;
+    let graph = build_program(&hir);
+    let loops = analyze_loops(&hir);
+    let sp = translate(&hir)?;
+    Ok(CompiledProgram {
+        hir,
+        graph,
+        loops,
+        sp,
+    })
+}
+
+/// Convenience wrapper: compile and run in one call.
+///
+/// # Errors
+///
+/// Returns a [`PodsError`] from whichever stage fails.
+pub fn compile_and_run(
+    source: &str,
+    args: &[Value],
+    options: &RunOptions,
+) -> Result<RunOutcome, PodsError> {
+    compile(source)?.run(args, options)
+}
+
+/// A measured point of a speed-up curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Number of PEs.
+    pub pes: usize,
+    /// Elapsed simulated time in microseconds.
+    pub elapsed_us: f64,
+    /// Speed-up relative to the single-PE run of the same sweep.
+    pub speedup: f64,
+    /// Average Execution-Unit utilization.
+    pub eu_utilization: f64,
+}
+
+/// Runs the program once per PE count and reports elapsed time, speed-up
+/// relative to the first (usually single-PE) configuration, and EU
+/// utilization — the measurements behind Figures 9 and 10 of the paper.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn speedup_sweep(
+    program: &CompiledProgram,
+    args: &[Value],
+    pe_counts: &[usize],
+    base_options: &RunOptions,
+) -> Result<Vec<SpeedupPoint>, PodsError> {
+    let mut points = Vec::new();
+    let mut base_time = None;
+    for &pes in pe_counts {
+        let options = RunOptions {
+            num_pes: pes,
+            ..base_options.clone()
+        };
+        let outcome = program.run(args, &options)?;
+        let elapsed = outcome.elapsed_us();
+        let base = *base_time.get_or_insert(elapsed);
+        points.push(SpeedupPoint {
+            pes,
+            elapsed_us: elapsed,
+            speedup: if elapsed > 0.0 { base / elapsed } else { 0.0 },
+            eu_utilization: outcome.result.stats.utilization(pods_machine::Unit::Execution),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MATRIX_FILL: &str = r#"
+        def main(n) {
+            a = matrix(n, n);
+            for i = 0 to n - 1 {
+                for j = 0 to n - 1 {
+                    a[i, j] = i * n + j;
+                }
+            }
+            return a;
+        }
+    "#;
+
+    #[test]
+    fn compile_exposes_all_pipeline_stages() {
+        let program = compile(MATRIX_FILL).unwrap();
+        assert_eq!(program.main_arity(), Some(1));
+        assert_eq!(program.graph().stats().loop_blocks, 2);
+        assert_eq!(program.loops().len(), 2);
+        assert_eq!(program.sp_program().len(), 3);
+    }
+
+    #[test]
+    fn run_produces_complete_results() {
+        let program = compile(MATRIX_FILL).unwrap();
+        let outcome = program
+            .run(&[Value::Int(8)], &RunOptions::with_pes(4))
+            .unwrap();
+        let array = outcome.result.returned_array().unwrap();
+        assert!(array.is_complete());
+        assert_eq!(outcome.partition.distributed_loops().count(), 1);
+        assert!(outcome.elapsed_us() > 0.0);
+        assert!(outcome.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn argument_and_entry_validation() {
+        let program = compile(MATRIX_FILL).unwrap();
+        assert!(matches!(
+            program.run(&[], &RunOptions::default()),
+            Err(PodsError::ArgumentMismatch { expected: 1, got: 0 })
+        ));
+        let no_main = compile("def helper(x) { return x; }").unwrap();
+        assert!(matches!(
+            no_main.run(&[], &RunOptions::default()),
+            Err(PodsError::MissingEntry)
+        ));
+    }
+
+    #[test]
+    fn speedup_sweep_is_monotone_for_parallel_work() {
+        let program = compile(MATRIX_FILL).unwrap();
+        let points = speedup_sweep(
+            &program,
+            &[Value::Int(16)],
+            &[1, 2, 4],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(points[2].speedup > points[0].speedup);
+        assert!(points[2].eu_utilization > 0.0);
+    }
+
+    #[test]
+    fn compile_and_run_convenience() {
+        let outcome = compile_and_run(
+            "def main(n) { return n + 1; }",
+            &[Value::Int(41)],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.result.return_value, Some(Value::Int(42)));
+    }
+}

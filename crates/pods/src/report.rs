@@ -1,0 +1,96 @@
+//! Text rendering of experiment results (utilization and speed-up tables).
+//!
+//! The benchmark harness uses these helpers to print the rows behind the
+//! paper's figures in a uniform, easily diffable format.
+
+use crate::pipeline::SpeedupPoint;
+use pods_machine::{SimulationStats, Unit};
+
+/// Renders a functional-unit utilization row for one machine size
+/// (Figure 8 of the paper).
+pub fn utilization_row(pes: usize, stats: &SimulationStats) -> String {
+    let mut cells: Vec<String> = vec![format!("{pes:>4}")];
+    for unit in Unit::ALL {
+        cells.push(format!("{:>7.2}%", stats.utilization(unit) * 100.0));
+    }
+    cells.join(" | ")
+}
+
+/// Header matching [`utilization_row`].
+pub fn utilization_header() -> String {
+    let mut cells: Vec<String> = vec![" PEs".to_string()];
+    for unit in Unit::ALL {
+        cells.push(format!("{:>8}", unit.label()));
+    }
+    cells.join(" | ")
+}
+
+/// Renders a speed-up table (Figure 10 of the paper): one row per PE count
+/// with elapsed time, speed-up, and EU utilization (Figure 9).
+pub fn speedup_table(label: &str, points: &[SpeedupPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
+    let _ = writeln!(
+        out,
+        "{:>4} | {:>14} | {:>8} | {:>8}",
+        "PEs", "elapsed (ms)", "speedup", "EU util"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4} | {:>14.3} | {:>8.2} | {:>7.1}%",
+            p.pes,
+            p.elapsed_us / 1000.0,
+            p.speedup,
+            p.eu_utilization * 100.0
+        );
+    }
+    out
+}
+
+/// Formats a comparison of two elapsed times (the §5.3.4 efficiency
+/// comparison).
+pub fn efficiency_comparison(label_a: &str, us_a: f64, label_b: &str, us_b: f64) -> String {
+    let ratio = if us_b > 0.0 { us_a / us_b } else { 0.0 };
+    format!(
+        "{label_a}: {:.3} ms\n{label_b}: {:.3} ms\nratio ({label_a} / {label_b}): {ratio:.2}x",
+        us_a / 1000.0,
+        us_b / 1000.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_expected_columns() {
+        assert!(utilization_header().contains("EU"));
+        let stats = SimulationStats::new(2);
+        let row = utilization_row(4, &stats);
+        assert!(row.starts_with("   4"));
+        assert_eq!(row.matches('|').count(), 5);
+
+        let points = vec![
+            SpeedupPoint {
+                pes: 1,
+                elapsed_us: 1000.0,
+                speedup: 1.0,
+                eu_utilization: 0.7,
+            },
+            SpeedupPoint {
+                pes: 2,
+                elapsed_us: 550.0,
+                speedup: 1.81,
+                eu_utilization: 0.6,
+            },
+        ];
+        let table = speedup_table("SIMPLE 16x16", &points);
+        assert!(table.contains("SIMPLE 16x16"));
+        assert!(table.contains("1.81"));
+
+        let cmp = efficiency_comparison("PODS", 1720.0 * 1000.0, "sequential C", 900.0 * 1000.0);
+        assert!(cmp.contains("1.91x"));
+    }
+}

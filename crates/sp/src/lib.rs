@@ -1,0 +1,35 @@
+//! Subcompact Processes: the PODS Translator and SP program representation.
+//!
+//! The paper's central execution abstraction is the *Subcompact Process*
+//! (SP): a sequential thread obtained from one dataflow code block, driven by
+//! a program counter, which blocks when an operand it needs has not arrived
+//! and is re-activated by the arrival of that operand (a dataflow / von
+//! Neumann hybrid, §3). This crate defines:
+//!
+//! * the SP instruction set ([`Instr`], [`Operand`], [`SlotId`]),
+//! * SP templates and programs ([`SpTemplate`], [`SpProgram`]), including the
+//!   loop metadata the partitioner uses to insert Range Filters, and
+//! * the translator from the `idlang` HIR to SP templates ([`translate`]),
+//!   which makes each function and each loop-nest level a separate SP.
+//!
+//! # Example
+//!
+//! ```
+//! let hir = pods_idlang::compile(
+//!     "def main() { a = array(8); for i = 0 to 7 { a[i] = i * i; } return a; }",
+//! ).unwrap();
+//! let program = pods_sp::translate(&hir).unwrap();
+//! assert_eq!(program.len(), 2);                 // main + the i-loop
+//! assert!(program.validate().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instr;
+pub mod template;
+pub mod translate;
+
+pub use instr::{Instr, Operand, SlotId, SpId};
+pub use template::{LoopMeta, SpKind, SpProgram, SpTemplate};
+pub use translate::{translate, TranslateError};

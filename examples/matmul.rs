@@ -1,0 +1,42 @@
+//! Dense matrix multiply expressed in the declarative language, validated
+//! against the sequential baseline interpreter, and timed on one and eight
+//! simulated PEs.
+//!
+//! Run with: `cargo run --release --example matmul [n]`
+
+use pods::{RunOptions, Value};
+use pods_baseline::run_sequential;
+use pods_machine::TimingModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+
+    let source = pods_workloads::MATMUL;
+    let program = pods::compile(source)?;
+
+    // Reference run: the sequential control-driven interpreter.
+    let hir = pods_idlang::compile(source)?;
+    let reference = run_sequential(&hir, &[Value::Int(n)], &TimingModel::default())?;
+    let expected = reference.array("c").expect("c").to_f64(f64::NAN);
+
+    for pes in [1usize, 8] {
+        let outcome = program.run(&[Value::Int(n)], &RunOptions::with_pes(pes))?;
+        let c = outcome.result.array("c").expect("c");
+        let got = c.to_f64(f64::NAN);
+        let max_err = expected
+            .iter()
+            .zip(&got)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{n}x{n} matmul on {pes} PE(s): simulated {:.3} ms, max |PODS - reference| = {max_err:.3e}",
+            outcome.elapsed_us() / 1000.0
+        );
+        assert!(max_err < 1e-9, "results diverged from the reference");
+    }
+    println!("sequential baseline model: {:.3} ms", reference.elapsed_us / 1000.0);
+    Ok(())
+}

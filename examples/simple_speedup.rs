@@ -1,0 +1,30 @@
+//! Runs the SIMPLE hydrodynamics benchmark (the paper's evaluation workload)
+//! on a sweep of machine sizes and prints the speed-up curve — a scaled-down
+//! interactive version of Figure 10.
+//!
+//! Run with: `cargo run --release --example simple_speedup [mesh] [max_pes]`
+
+use pods::{report, RunOptions, Value};
+
+fn main() -> Result<(), pods::PodsError> {
+    let args: Vec<String> = std::env::args().collect();
+    let mesh: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let max_pes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let program = pods::compile(pods_workloads::simple::SIMPLE)?;
+    let mut pe_counts = vec![1usize];
+    while *pe_counts.last().unwrap() < max_pes {
+        pe_counts.push(pe_counts.last().unwrap() * 2);
+    }
+
+    println!("SIMPLE {mesh}x{mesh}: one Lagrangian time step (velocity/position, hydrodynamics, conduction)");
+    let points = pods::speedup_sweep(
+        &program,
+        &[Value::Int(mesh as i64)],
+        &pe_counts,
+        &RunOptions::default(),
+    )?;
+    println!("{}", report::speedup_table("speed-up versus PEs", &points));
+    println!("paper reference at 32 PEs: 8.1x (16x16), 12.4x (32x32), 18.9x (64x64)");
+    Ok(())
+}

