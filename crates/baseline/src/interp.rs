@@ -197,13 +197,19 @@ impl<'a> Interp<'a> {
         self.nests.get_mut(&(function, ordinal))
     }
 
-    fn call(&mut self, function: &HirFunction, args: Vec<Value>) -> Result<Option<Value>, BaselineError> {
+    fn call(
+        &mut self,
+        function: &HirFunction,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, BaselineError> {
         if self.depth > 256 {
             return Err(BaselineError("call depth exceeded".into()));
         }
         self.depth += 1;
         // Call overhead: argument moves plus the call/return pair.
-        self.charge(2.0 * self.timing.context_switch + args.len() as f64 * self.timing.memory_write);
+        self.charge(
+            2.0 * self.timing.context_switch + args.len() as f64 * self.timing.memory_write,
+        );
         let mut env: HashMap<String, Value> = HashMap::new();
         for (p, v) in function.params.iter().zip(args) {
             env.insert(p.clone(), v);
@@ -429,11 +435,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn array_id(
-        &self,
-        name: &str,
-        env: &HashMap<String, Value>,
-    ) -> Result<ArrayId, BaselineError> {
+    fn array_id(&self, name: &str, env: &HashMap<String, Value>) -> Result<ArrayId, BaselineError> {
         match env.get(name) {
             Some(Value::ArrayRef(id)) => Ok(*id),
             _ => Err(BaselineError(format!("`{name}` is not an array"))),
@@ -494,7 +496,10 @@ impl<'a> Interp<'a> {
             }
             HirExpr::Unary { op, operand } => {
                 let v = self.eval(function, operand, env)?;
-                self.charge(self.timing.unary_op(*op, v.is_float() || float_producing(*op)));
+                self.charge(
+                    self.timing
+                        .unary_op(*op, v.is_float() || float_producing(*op)),
+                );
                 eval_unary(*op, v).map_err(|e| BaselineError(e.to_string()))?
             }
             HirExpr::Binary { op, lhs, rhs } => {
@@ -579,7 +584,9 @@ impl OrdinalTracker {
                     then_body,
                     else_body,
                     ..
-                } => OrdinalTracker::count_loops(then_body) + OrdinalTracker::count_loops(else_body),
+                } => {
+                    OrdinalTracker::count_loops(then_body) + OrdinalTracker::count_loops(else_body)
+                }
                 _ => 0,
             })
             .sum()

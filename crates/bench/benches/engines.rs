@@ -1,0 +1,76 @@
+//! Engine comparison: SimEngine vs NativeParallelEngine wall-clock on the
+//! FILL and SIMPLE workloads at 1/2/4/8 workers, through the shared
+//! `Engine` trait.
+//!
+//! Besides the Criterion timings, the bench writes a machine-readable
+//! snapshot to `BENCH_engines.json` at the repository root (override with
+//! the `PODS_BENCH_OUT` environment variable): per-configuration mean
+//! wall-clock microseconds (reused from the shim's measurement loop) plus
+//! the host parallelism, so runs on different
+//! machines can be compared honestly. Note that the *sim* engine's
+//! wall-clock is the cost of simulating N PEs (it grows with N), while the
+//! *native* engine's wall-clock is real execution on N threads (it shrinks
+//! with N up to the host's core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pods::{RunOptions, Value};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ENGINES: [&str; 2] = ["sim", "native"];
+
+fn bench_engines(c: &mut Criterion) {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut rows = String::new();
+
+    for (workload, source, n) in [
+        ("fill", pods_workloads::FILL, 64i64),
+        ("simple", pods_workloads::simple::SIMPLE, 16i64),
+    ] {
+        let program = pods::compile(source).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("{workload}_{n}"));
+        for engine in ENGINES {
+            for workers in WORKER_COUNTS {
+                // The offline criterion shim exposes the measured mean, so
+                // the snapshot reuses the bench measurement instead of
+                // timing every configuration a second time.
+                let mut mean_us = 0.0;
+                group.bench_with_input(
+                    BenchmarkId::new(engine, workers),
+                    &workers,
+                    |b, &workers| {
+                        b.iter(|| {
+                            program
+                                .run_on(engine, &[Value::Int(n)], &RunOptions::with_pes(workers))
+                                .expect("bench run")
+                        });
+                        mean_us = b.mean_ns / 1e3;
+                    },
+                );
+                if !rows.is_empty() {
+                    rows.push_str(",\n");
+                }
+                rows.push_str(&format!(
+                    "    {{\"workload\": \"{workload}\", \"n\": {n}, \"engine\": \"{engine}\", \
+                     \"workers\": {workers}, \"mean_wall_us\": {mean_us:.1}}}"
+                ));
+            }
+        }
+        group.finish();
+    }
+
+    let out = format!(
+        "{{\n  \"bench\": \"engines\",\n  \"host_parallelism\": {host_parallelism},\n  \
+         \"points\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = std::env::var("PODS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_engines.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -2,30 +2,42 @@
 //! compared with a conventional sequential execution of the same program
 //! (the paper measured 1.72 s for PODS vs 0.9 s for compiled C on a 32x32
 //! conduction problem, i.e. roughly a factor of two).
+//!
+//! Both runs go through the engine layer: the parallel system is the
+//! engine named by `PODS_ENGINE` (default: the machine simulator) on one
+//! PE, the conventional baseline is the sequential oracle engine. The two
+//! sides are always compared on the same clock: modelled iPSC/2 time when
+//! the selected engine models one, host wall-clock otherwise (the native
+//! engine has no modelled clock, so comparing it against the oracle's
+//! modelled 1988 microseconds would be meaningless).
 
 use pods::{report, RunOptions, Value};
-use pods_baseline::run_sequential;
-use pods_machine::TimingModel;
 
 fn main() {
     let n: i64 = 32;
+    let engine = pods_bench::engine_name();
     let program = pods_bench::compile_simple();
     let outcome = program
-        .run(&[Value::Int(n)], &RunOptions::with_pes(1))
+        .run_on(&engine, &[Value::Int(n)], &RunOptions::with_pes(1))
         .expect("PODS single-PE run");
 
-    let hir = pods_idlang::compile(pods_workloads::simple::SIMPLE).expect("compile");
-    let seq = run_sequential(&hir, &[Value::Int(n)], &TimingModel::default())
+    let seq = program
+        .run_on("seq", &[Value::Int(n)], &RunOptions::default())
         .expect("sequential baseline");
 
-    println!("Efficiency comparison (SIMPLE {n}x{n}, one time step)");
+    let (clock, parallel_us, baseline_us) = match outcome.modelled_us {
+        Some(us) => ("modelled time", us, seq.elapsed_us()),
+        None => ("host wall-clock", outcome.wall_us, seq.wall_us),
+    };
+
+    println!("Efficiency comparison (SIMPLE {n}x{n}, one time step, engine {engine}, {clock})");
     println!(
         "{}",
         report::efficiency_comparison(
-            "PODS on 1 PE",
-            outcome.elapsed_us(),
+            &format!("PODS ({engine}) on 1 PE"),
+            parallel_us,
             "sequential (conventional) baseline",
-            seq.elapsed_us,
+            baseline_us,
         )
     );
     println!();

@@ -10,16 +10,23 @@ fn main() {
     let program = pods_bench::compile_simple();
     let pes = pods_bench::pe_counts();
     let sizes = pods_bench::mesh_sizes();
+    // PODS_ENGINE=native reports real hardware-thread speed-up through the
+    // same sweep code path; the default reports simulated-PE speed-up.
+    let engine = pods_bench::engine_name();
 
     for &n in &sizes {
-        let points = pods::speedup_sweep(
+        let points = pods::speedup_sweep_on(
+            &engine,
             &program,
             &[Value::Int(n as i64)],
             &pes,
             &RunOptions::default(),
         )
         .expect("sweep");
-        println!("{}", report::speedup_table(&format!("SIMPLE {n}x{n} (PODS)"), &points));
+        println!(
+            "{}",
+            report::speedup_table(&format!("SIMPLE {n}x{n} (PODS, engine {engine})"), &points)
+        );
     }
 
     // The P&R comparator on the largest mesh, derived from the sequential

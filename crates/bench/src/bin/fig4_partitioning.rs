@@ -9,7 +9,10 @@ fn main() {
     let header = ArrayHeader::new(ArrayId(0), "a", shape, part);
 
     println!("Figure 4: 6 x 256 array, 32-element pages, 4 PEs");
-    println!("{:>4} | {:>12} | {:>16} | {:>14}", "PE", "pages", "elements", "touched rows");
+    println!(
+        "{:>4} | {:>12} | {:>16} | {:>14}",
+        "PE", "pages", "elements", "touched rows"
+    );
     for pe in 0..4 {
         let seg = header.partitioning().segment_of(PeId(pe));
         println!(

@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pods::{CompiledProgram, RunOptions, Value};
+use pods::{CompiledProgram, EngineOutcome, RunOptions, Value};
 
 /// Mesh sizes used by the SIMPLE experiments. Honours the
 /// `PODS_MESH_SIZES` environment variable (comma-separated) so slow machines
@@ -58,6 +58,31 @@ pub fn run_simple(program: &CompiledProgram, n: usize, pes: usize) -> pods::RunO
         .unwrap_or_else(|e| panic!("SIMPLE {n}x{n} on {pes} PEs failed: {e}"))
 }
 
+/// The engine the harness binaries should use, from the `PODS_ENGINE`
+/// environment variable (default: the machine simulator). This lets every
+/// figure binary re-run its experiment on the native thread-pool engine
+/// (`PODS_ENGINE=native`) without code changes.
+pub fn engine_name() -> String {
+    std::env::var("PODS_ENGINE").unwrap_or_else(|_| "sim".to_string())
+}
+
+/// Runs SIMPLE on the named engine.
+///
+/// # Panics
+///
+/// Panics if the run fails; the harness treats that as a fatal reproduction
+/// error.
+pub fn run_simple_on(
+    engine: &str,
+    program: &CompiledProgram,
+    n: usize,
+    pes: usize,
+) -> EngineOutcome {
+    program
+        .run_on(engine, &[Value::Int(n as i64)], &RunOptions::with_pes(pes))
+        .unwrap_or_else(|e| panic!("SIMPLE {n}x{n} on {pes} PEs (engine {engine}) failed: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +103,15 @@ mod tests {
         let program = compile_simple();
         let outcome = run_simple(&program, 8, 2);
         assert!(outcome.result.array("s").unwrap().is_complete());
+    }
+
+    #[test]
+    fn engine_selection_defaults_to_the_simulator() {
+        if std::env::var("PODS_ENGINE").is_err() {
+            assert_eq!(engine_name(), "sim");
+        }
+        let program = compile_simple();
+        let outcome = run_simple_on("native", &program, 8, 2);
+        assert!(outcome.array("s").unwrap().is_complete());
     }
 }

@@ -98,7 +98,11 @@ pub fn analyze_loops(hir: &HirProgram) -> Vec<LoopInfo> {
 }
 
 /// Looks up the analysis of a specific loop.
-pub fn find_loop<'a>(infos: &'a [LoopInfo], function: &str, ordinal: usize) -> Option<&'a LoopInfo> {
+pub fn find_loop<'a>(
+    infos: &'a [LoopInfo],
+    function: &str,
+    ordinal: usize,
+) -> Option<&'a LoopInfo> {
     infos
         .iter()
         .find(|info| info.key.function == function && info.key.ordinal == ordinal)
@@ -539,7 +543,13 @@ mod tests {
         "#,
         );
         assert_eq!(infos.len(), 4);
-        assert_eq!(infos[0].key, LoopKey { function: "main".into(), ordinal: 0 });
+        assert_eq!(
+            infos[0].key,
+            LoopKey {
+                function: "main".into(),
+                ordinal: 0
+            }
+        );
         assert_eq!(infos[1].key.ordinal, 1);
         assert_eq!(infos[2].key.ordinal, 2);
         assert_eq!(infos[2].parent, Some(1));

@@ -155,10 +155,8 @@ impl BlockBuilder<'_> {
                 for (name, then_node) in &then_env {
                     match else_env.get(name) {
                         Some(else_node) if else_node != then_node => {
-                            let merge = self.add(
-                                Operator::Merge,
-                                vec![switch, *then_node, *else_node],
-                            );
+                            let merge =
+                                self.add(Operator::Merge, vec![switch, *then_node, *else_node]);
                             merged.insert(name.clone(), merge);
                         }
                         _ => {
@@ -252,11 +250,9 @@ impl BlockBuilder<'_> {
             vec![],
         );
         for name in &free {
-            let node = self.program.add_node(
-                child,
-                Operator::Param { name: name.clone() },
-                vec![],
-            );
+            let node = self
+                .program
+                .add_node(child, Operator::Param { name: name.clone() }, vec![]);
             child_env.insert(name.clone(), node);
         }
         // Index circulation: increment feeds the D (termination) test which

@@ -74,10 +74,9 @@ mod tests {
 
     #[test]
     fn dot_output_contains_clusters_and_dashed_loop_arcs() {
-        let hir = compile(
-            "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }",
-        )
-        .unwrap();
+        let hir =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }")
+                .unwrap();
         let graph = build_program(&hir);
         let dot = to_dot(&graph);
         assert!(dot.starts_with("digraph pods {"));

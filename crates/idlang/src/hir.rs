@@ -414,9 +414,7 @@ fn lower_stmt(stmt: &ast::Stmt) -> Result<HirStmt, CompileError> {
         ast::Stmt::Return { value, .. } => HirStmt::Return {
             value: lower_expr(value)?,
         },
-        ast::Stmt::Call {
-            function, args, ..
-        } => HirStmt::Call {
+        ast::Stmt::Call { function, args, .. } => HirStmt::Call {
             function: function.clone(),
             args: args.iter().map(lower_expr).collect::<Result<_, _>>()?,
         },
@@ -471,7 +469,10 @@ fn lower_expr(expr: &ast::Expr) -> Result<HirExpr, CompileError> {
             if let Some((_, op)) = UNARY_BUILTINS.iter().find(|(n, _)| n == function) {
                 if args.len() != 1 {
                     return Err(CompileError::sema(
-                        format!("builtin `{function}` takes 1 argument, found {}", args.len()),
+                        format!(
+                            "builtin `{function}` takes 1 argument, found {}",
+                            args.len()
+                        ),
                         Some(*span),
                     ));
                 }
@@ -482,7 +483,10 @@ fn lower_expr(expr: &ast::Expr) -> Result<HirExpr, CompileError> {
             } else if let Some((_, op)) = BINARY_BUILTINS.iter().find(|(n, _)| n == function) {
                 if args.len() != 2 {
                     return Err(CompileError::sema(
-                        format!("builtin `{function}` takes 2 arguments, found {}", args.len()),
+                        format!(
+                            "builtin `{function}` takes 2 arguments, found {}",
+                            args.len()
+                        ),
                         Some(*span),
                     ));
                 }
@@ -526,15 +530,32 @@ mod tests {
         let body = &hir.function("main").unwrap().body;
         assert!(matches!(
             &body[0],
-            HirStmt::Let { value: HirExpr::Unary { op: UnaryOp::Sqrt, .. }, .. }
+            HirStmt::Let {
+                value: HirExpr::Unary {
+                    op: UnaryOp::Sqrt,
+                    ..
+                },
+                ..
+            }
         ));
         assert!(matches!(
             &body[1],
-            HirStmt::Let { value: HirExpr::Binary { op: BinaryOp::Min, .. }, .. }
+            HirStmt::Let {
+                value: HirExpr::Binary {
+                    op: BinaryOp::Min,
+                    ..
+                },
+                ..
+            }
         ));
         assert!(matches!(
             &body[2],
-            HirStmt::Return { value: HirExpr::Binary { op: BinaryOp::Pow, .. } }
+            HirStmt::Return {
+                value: HirExpr::Binary {
+                    op: BinaryOp::Pow,
+                    ..
+                }
+            }
         ));
     }
 
@@ -572,13 +593,14 @@ mod tests {
 
     #[test]
     fn loops_and_stores_lower_structurally() {
-        let hir = lower_src(
-            "def main() { a = array(4); for i = 0 to 3 { a[i] = i * 2; } return a; }",
-        );
+        let hir =
+            lower_src("def main() { a = array(4); for i = 0 to 3 { a[i] = i * 2; } return a; }");
         let body = &hir.function("main").unwrap().body;
         assert!(matches!(&body[0], HirStmt::Alloc { dims, .. } if dims.len() == 1));
         match &body[1] {
-            HirStmt::For { body, descending, .. } => {
+            HirStmt::For {
+                body, descending, ..
+            } => {
                 assert!(!descending);
                 assert!(matches!(&body[0], HirStmt::Store { .. }));
             }

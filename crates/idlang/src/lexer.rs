@@ -172,14 +172,14 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
         let span = Span::new(start, self.pos, line);
         if is_float {
-            let value: f64 = text
-                .parse()
-                .map_err(|_| CompileError::lex(format!("malformed float literal `{text}`"), span))?;
+            let value: f64 = text.parse().map_err(|_| {
+                CompileError::lex(format!("malformed float literal `{text}`"), span)
+            })?;
             self.push(TokenKind::Float(value), start, line);
         } else {
-            let value: i64 = text
-                .parse()
-                .map_err(|_| CompileError::lex(format!("malformed integer literal `{text}`"), span))?;
+            let value: i64 = text.parse().map_err(|_| {
+                CompileError::lex(format!("malformed integer literal `{text}`"), span)
+            })?;
             self.push(TokenKind::Int(value), start, line);
         }
         Ok(())

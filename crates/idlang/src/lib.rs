@@ -97,9 +97,18 @@ mod tests {
 
     #[test]
     fn compile_pipeline_reports_errors_from_each_phase() {
-        assert_eq!(compile("def main() { x = $; }").unwrap_err().phase, ErrorPhase::Lex);
-        assert_eq!(compile("def main() { x = ; }").unwrap_err().phase, ErrorPhase::Parse);
-        assert_eq!(compile("def main() { return y; }").unwrap_err().phase, ErrorPhase::Sema);
+        assert_eq!(
+            compile("def main() { x = $; }").unwrap_err().phase,
+            ErrorPhase::Lex
+        );
+        assert_eq!(
+            compile("def main() { x = ; }").unwrap_err().phase,
+            ErrorPhase::Parse
+        );
+        assert_eq!(
+            compile("def main() { return y; }").unwrap_err().phase,
+            ErrorPhase::Sema
+        );
     }
 
     #[test]

@@ -550,7 +550,13 @@ mod tests {
         let main = program.function("main").unwrap();
         assert_eq!(main.body.len(), 3);
         assert!(matches!(&main.body[0], Stmt::Alloc { dims, .. } if dims.len() == 2));
-        assert!(matches!(&main.body[1], Stmt::For { descending: false, .. }));
+        assert!(matches!(
+            &main.body[1],
+            Stmt::For {
+                descending: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -569,7 +575,11 @@ mod tests {
         let p = parse(src).unwrap();
         match &p.function("main").unwrap().body[0] {
             Stmt::Let { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected +, got {other:?}"),
@@ -595,7 +605,13 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         let body = &p.function("main").unwrap().body;
-        assert!(matches!(&body[0], Stmt::Let { value: Expr::Select { .. }, .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Let {
+                value: Expr::Select { .. },
+                ..
+            }
+        ));
         match &body[1] {
             Stmt::If { else_body, .. } => {
                 assert_eq!(else_body.len(), 1);
@@ -615,7 +631,9 @@ mod tests {
     fn parses_tensor_allocations() {
         let src = "def main() { t = tensor(2, 3, 4); t[0, 1, 2] = 5.0; return t; }";
         let p = parse(src).unwrap();
-        assert!(matches!(&p.function("main").unwrap().body[0], Stmt::Alloc { dims, .. } if dims.len() == 3));
+        assert!(
+            matches!(&p.function("main").unwrap().body[0], Stmt::Alloc { dims, .. } if dims.len() == 3)
+        );
     }
 
     #[test]
@@ -635,7 +653,10 @@ mod tests {
     fn call_with_no_arguments() {
         let p = parse("def main() { x = g(); return x; } def g() { return 1; }").unwrap();
         match &p.function("main").unwrap().body[0] {
-            Stmt::Let { value: Expr::Call { args, .. }, .. } => assert!(args.is_empty()),
+            Stmt::Let {
+                value: Expr::Call { args, .. },
+                ..
+            } => assert!(args.is_empty()),
             other => panic!("expected call, got {other:?}"),
         }
     }
@@ -646,6 +667,8 @@ mod tests {
         let b = parse("def main() { x = 1; return x; }").unwrap();
         // Same structure apart from spans.
         assert_eq!(a.functions.len(), b.functions.len());
-        assert!(matches!(&a.function("main").unwrap().body[0], Stmt::Let { name, .. } if name == "x"));
+        assert!(
+            matches!(&a.function("main").unwrap().body[0], Stmt::Let { name, .. } if name == "x")
+        );
     }
 }

@@ -379,11 +379,15 @@ mod tests {
     #[test]
     fn rejects_rebinding_params_and_loop_vars() {
         let errs = errors_of("def main(n) { n = 2; return n; }");
-        assert!(errs.iter().any(|m| m.contains("re-binds a function parameter")));
+        assert!(errs
+            .iter()
+            .any(|m| m.contains("re-binds a function parameter")));
         let errs = errors_of("def main() { for i = 0 to 3 { i = 5; } return 0; }");
         assert!(errs.iter().any(|m| m.contains("re-binds a loop index")));
         let errs = errors_of("def main(i) { for i = 0 to 3 { x = i; } return 0; }");
-        assert!(errs.iter().any(|m| m.contains("shadows an existing binding")));
+        assert!(errs
+            .iter()
+            .any(|m| m.contains("shadows an existing binding")));
     }
 
     #[test]

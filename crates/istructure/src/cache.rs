@@ -50,7 +50,10 @@ impl PageCopy {
         if offset < self.base_offset {
             return None;
         }
-        self.elements.get(offset - self.base_offset).copied().flatten()
+        self.elements
+            .get(offset - self.base_offset)
+            .copied()
+            .flatten()
     }
 }
 
@@ -187,7 +190,12 @@ mod tests {
         let mut cache = PageCache::new();
         cache.install(page(0, 0, 0, vec![None, None]));
         assert_eq!(cache.peek(ArrayId(0), 0, 1), None);
-        cache.install(page(0, 0, 0, vec![Some(Value::Int(9)), Some(Value::Int(8))]));
+        cache.install(page(
+            0,
+            0,
+            0,
+            vec![Some(Value::Int(9)), Some(Value::Int(8))],
+        ));
         assert_eq!(cache.peek(ArrayId(0), 0, 1), Some(Value::Int(8)));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().pages_installed, 2);
@@ -208,7 +216,12 @@ mod tests {
 
     #[test]
     fn page_copy_accessors() {
-        let p = page(0, 2, 64, vec![Some(Value::Int(5)), None, Some(Value::Int(6))]);
+        let p = page(
+            0,
+            2,
+            64,
+            vec![Some(Value::Int(5)), None, Some(Value::Int(6))],
+        );
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
         assert_eq!(p.present_count(), 2);

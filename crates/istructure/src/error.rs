@@ -56,6 +56,11 @@ pub enum IStructureError {
         /// The PE that attempted the access.
         pe: PeId,
     },
+    /// An array identifier was allocated twice.
+    DuplicateArray {
+        /// The identifier that was re-used.
+        array: ArrayId,
+    },
 }
 
 impl std::fmt::Display for IStructureError {
@@ -98,6 +103,13 @@ impl std::fmt::Display for IStructureError {
                 array.index(),
                 pe
             ),
+            IStructureError::DuplicateArray { array } => {
+                write!(
+                    f,
+                    "array identifier array#{} allocated twice",
+                    array.index()
+                )
+            }
         }
     }
 }

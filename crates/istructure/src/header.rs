@@ -276,10 +276,7 @@ mod tests {
     fn responsibility_dispatches_by_dimension() {
         let h = figure4_header();
         assert_eq!(h.responsibility(PeId(0), 0, None), DimRange::new(0, 1));
-        assert_eq!(
-            h.responsibility(PeId(0), 1, Some(1)),
-            DimRange::new(0, 127)
-        );
+        assert_eq!(h.responsibility(PeId(0), 1, Some(1)), DimRange::new(0, 127));
         // Below the filtered level the full extent is used.
         assert_eq!(h.responsibility(PeId(0), 2, None), DimRange::new(0, 0));
         assert_eq!(

@@ -56,7 +56,7 @@ impl ArrayShape {
 
     /// Returns `true` if any dimension is zero.
     pub fn is_degenerate(&self) -> bool {
-        self.dims.iter().any(|&d| d == 0)
+        self.dims.contains(&0)
     }
 
     /// Returns the total number of elements.

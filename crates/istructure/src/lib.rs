@@ -41,6 +41,7 @@ mod error;
 mod header;
 mod layout;
 mod memory;
+pub mod shared;
 mod store;
 mod value;
 
@@ -49,6 +50,7 @@ pub use error::IStructureError;
 pub use header::{ArrayHeader, ArrayId};
 pub use layout::{ArrayShape, DimRange, Partitioning, Segment};
 pub use memory::{ArrayMemory, ReadOutcome, WriteOutcome};
+pub use shared::{SharedArray, SharedArrayStore, SharedReadResult};
 pub use store::{LocalArrayStore, ReadResult};
 pub use value::Value;
 

@@ -288,7 +288,10 @@ mod tests {
     #[test]
     fn local_read_write_roundtrip() {
         let (mut m0, _) = two_pe_memories();
-        assert_eq!(m0.read(ArrayId(0), 3, 7).unwrap(), ReadOutcome::LocalDeferred);
+        assert_eq!(
+            m0.read(ArrayId(0), 3, 7).unwrap(),
+            ReadOutcome::LocalDeferred
+        );
         match m0.write(ArrayId(0), 3, Value::Float(2.5)).unwrap() {
             WriteOutcome::Local { woken } => assert_eq!(woken, vec![7]),
             other => panic!("unexpected outcome {other:?}"),
@@ -346,7 +349,10 @@ mod tests {
     #[test]
     fn owner_side_read_defers_until_written() {
         let (_, mut m1) = two_pe_memories();
-        assert_eq!(m1.read_as_owner(ArrayId(0), 17, 9).unwrap(), ReadResult::Deferred);
+        assert_eq!(
+            m1.read_as_owner(ArrayId(0), 17, 9).unwrap(),
+            ReadResult::Deferred
+        );
         match m1.write(ArrayId(0), 17, Value::Int(1)).unwrap() {
             WriteOutcome::Local { woken } => assert_eq!(woken, vec![9]),
             other => panic!("unexpected outcome {other:?}"),

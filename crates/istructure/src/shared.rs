@@ -1,0 +1,408 @@
+//! A thread-safe I-structure store for native parallel execution.
+//!
+//! The per-PE [`crate::ArrayMemory`] models the paper's distributed Array
+//! Managers for the discrete-event simulator, where all accesses happen on
+//! one simulation thread. The native execution engine instead runs iteration
+//! instances on real OS threads, so it needs a store that many threads can
+//! hit concurrently while preserving I-structure semantics:
+//!
+//! * **write-once cells** — a second write to an element is a
+//!   single-assignment violation, exactly as in the sequential stores,
+//! * **deferred readers** — a read of an absent element enqueues a
+//!   caller-supplied waiter tag on the cell; the write that eventually fills
+//!   the element hands all queued tags back to the writer so the caller can
+//!   re-activate the blocked computations (the paper's "presence bit +
+//!   deferred-read queue" protocol, §4.1, lifted onto threads).
+//!
+//! Synchronisation is per-cell (`Mutex` around each element), so writes and
+//! reads to distinct elements never contend, and the array directory is an
+//! `RwLock`ed map that is only write-locked during allocation. The store is
+//! shared between workers via `Arc`; headers carry the same
+//! [`Partitioning`] the simulator uses, so Range Filters compute identical
+//! per-worker responsibility ranges in both execution modes.
+
+use crate::error::IStructureError;
+use crate::header::{ArrayHeader, ArrayId};
+use crate::layout::{ArrayShape, Partitioning};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One write-once element cell with its deferred-reader queue.
+#[derive(Debug)]
+enum SharedCell<T> {
+    /// Presence bit clear; the queue holds deferred-read waiter tags.
+    Empty(Vec<T>),
+    /// Presence bit set.
+    Full(Value),
+}
+
+impl<T> Default for SharedCell<T> {
+    fn default() -> Self {
+        SharedCell::Empty(Vec::new())
+    }
+}
+
+/// The result of a read against the shared store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SharedReadResult {
+    /// The element was present.
+    Present(Value),
+    /// The element has not been written; the waiter tag was enqueued and
+    /// will be handed to the writer that fills the element.
+    Deferred,
+}
+
+/// One array held by the shared store.
+#[derive(Debug)]
+pub struct SharedArray<T> {
+    header: ArrayHeader,
+    cells: Vec<Mutex<SharedCell<T>>>,
+}
+
+impl<T> SharedArray<T> {
+    /// The array header (shape, name, partitioning / responsibility ranges).
+    pub fn header(&self) -> &ArrayHeader {
+        &self.header
+    }
+
+    /// Reads the element at `offset`, enqueueing `waiter` if it is absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::OutOfBounds`] for offsets past the end.
+    pub fn read(&self, offset: usize, waiter: T) -> Result<SharedReadResult, IStructureError> {
+        let cell = self.cells.get(offset).ok_or(IStructureError::OutOfBounds {
+            array: self.header.id(),
+            offset,
+            len: self.cells.len(),
+        })?;
+        let mut guard = cell.lock().expect("shared cell poisoned");
+        match &mut *guard {
+            SharedCell::Full(v) => Ok(SharedReadResult::Present(*v)),
+            SharedCell::Empty(queue) => {
+                queue.push(waiter);
+                Ok(SharedReadResult::Deferred)
+            }
+        }
+    }
+
+    /// Reads the element at `offset` without enqueueing a waiter.
+    pub fn peek(&self, offset: usize) -> Option<Value> {
+        let guard = self
+            .cells
+            .get(offset)?
+            .lock()
+            .expect("shared cell poisoned");
+        match &*guard {
+            SharedCell::Full(v) => Some(*v),
+            SharedCell::Empty(_) => None,
+        }
+    }
+
+    /// Writes the element at `offset`, returning the deferred waiters that
+    /// were queued on it. The cell lock is released before the caller
+    /// re-activates the waiters, so wake-up work never blocks other cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::SingleAssignment`] on a second write and
+    /// [`IStructureError::OutOfBounds`] for offsets past the end.
+    pub fn write(&self, offset: usize, value: Value) -> Result<Vec<T>, IStructureError> {
+        let cell = self.cells.get(offset).ok_or(IStructureError::OutOfBounds {
+            array: self.header.id(),
+            offset,
+            len: self.cells.len(),
+        })?;
+        let mut guard = cell.lock().expect("shared cell poisoned");
+        match std::mem::take(&mut *guard) {
+            SharedCell::Full(prev) => {
+                *guard = SharedCell::Full(prev);
+                Err(IStructureError::SingleAssignment {
+                    array: self.header.id(),
+                    offset,
+                })
+            }
+            SharedCell::Empty(waiters) => {
+                *guard = SharedCell::Full(value);
+                Ok(waiters)
+            }
+        }
+    }
+
+    /// Snapshot of every element (`None` = never written), row-major.
+    pub fn snapshot(&self) -> Vec<Option<Value>> {
+        self.cells
+            .iter()
+            .map(|c| match &*c.lock().expect("shared cell poisoned") {
+                SharedCell::Full(v) => Some(*v),
+                SharedCell::Empty(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A concurrent, `Arc`-shared directory of I-structure arrays.
+///
+/// The waiter tag type `T` identifies the blocked computation to re-activate
+/// when a deferred element is finally written (the native engine uses an
+/// `(instance, slot)` pair, mirroring the simulator's [`crate::memory`]
+/// tokens).
+#[derive(Debug)]
+pub struct SharedArrayStore<T> {
+    arrays: RwLock<HashMap<ArrayId, Arc<SharedArray<T>>>>,
+    /// Allocation order, so result snapshots match the simulator's.
+    order: Mutex<Vec<ArrayId>>,
+}
+
+impl<T> Default for SharedArrayStore<T> {
+    fn default() -> Self {
+        SharedArrayStore {
+            arrays: RwLock::new(HashMap::new()),
+            order: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> SharedArrayStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates an array with the given header parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::InvalidShape`] for zero-sized shapes and
+    /// [`IStructureError::DuplicateArray`] if the identifier is already in
+    /// use.
+    pub fn allocate(
+        &self,
+        id: ArrayId,
+        name: impl Into<String>,
+        shape: ArrayShape,
+        partitioning: Partitioning,
+    ) -> Result<(), IStructureError> {
+        if shape.is_degenerate() {
+            return Err(IStructureError::InvalidShape {
+                dims: shape.dims().to_vec(),
+            });
+        }
+        let header = ArrayHeader::new(id, name, shape, partitioning);
+        let len = header.len();
+        let array = Arc::new(SharedArray {
+            header,
+            cells: (0..len)
+                .map(|_| Mutex::new(SharedCell::default()))
+                .collect(),
+        });
+        let mut arrays = self.arrays.write().expect("shared store poisoned");
+        if arrays.contains_key(&id) {
+            return Err(IStructureError::DuplicateArray { array: id });
+        }
+        arrays.insert(id, array);
+        // Take the order lock while still holding the directory write lock
+        // so a concurrent allocate cannot interleave between the two.
+        self.order.lock().expect("shared store poisoned").push(id);
+        Ok(())
+    }
+
+    /// The array with the given id, if allocated.
+    pub fn array(&self, id: ArrayId) -> Option<Arc<SharedArray<T>>> {
+        self.arrays
+            .read()
+            .expect("shared store poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// The array or an [`IStructureError::UnknownArray`] error.
+    pub fn require(&self, id: ArrayId) -> Result<Arc<SharedArray<T>>, IStructureError> {
+        self.array(id)
+            .ok_or(IStructureError::UnknownArray { array: id })
+    }
+
+    /// Number of arrays allocated so far.
+    pub fn num_arrays(&self) -> usize {
+        self.arrays.read().expect("shared store poisoned").len()
+    }
+
+    /// Snapshots of every array in allocation order:
+    /// `(id, name, shape, values)`.
+    pub fn snapshots(&self) -> Vec<(ArrayId, String, ArrayShape, Vec<Option<Value>>)> {
+        let order = self.order.lock().expect("shared store poisoned").clone();
+        let arrays = self.arrays.read().expect("shared store poisoned");
+        order
+            .iter()
+            .filter_map(|id| arrays.get(id))
+            .map(|a| {
+                (
+                    a.header.id(),
+                    a.header.name().to_string(),
+                    a.header.shape().clone(),
+                    a.snapshot(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    fn store() -> SharedArrayStore<usize> {
+        let s = SharedArrayStore::new();
+        let shape = ArrayShape::matrix(4, 8);
+        let part = Partitioning::new(shape.len(), 8, 2);
+        s.allocate(ArrayId(0), "a", shape, part).unwrap();
+        s
+    }
+
+    #[test]
+    fn write_once_and_deferred_wakeup() {
+        let s = store();
+        let a = s.require(ArrayId(0)).unwrap();
+        assert_eq!(a.read(3, 11).unwrap(), SharedReadResult::Deferred);
+        assert_eq!(a.read(3, 22).unwrap(), SharedReadResult::Deferred);
+        let woken = a.write(3, Value::Int(9)).unwrap();
+        assert_eq!(woken, vec![11, 22]);
+        assert_eq!(
+            a.read(3, 33).unwrap(),
+            SharedReadResult::Present(Value::Int(9))
+        );
+        assert!(matches!(
+            a.write(3, Value::Int(1)),
+            Err(IStructureError::SingleAssignment { .. })
+        ));
+        assert_eq!(a.peek(3), Some(Value::Int(9)));
+        assert_eq!(a.peek(4), None);
+    }
+
+    #[test]
+    fn bounds_and_unknown_arrays_are_errors() {
+        let s = store();
+        let a = s.require(ArrayId(0)).unwrap();
+        assert!(matches!(
+            a.read(999, 0),
+            Err(IStructureError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            a.write(999, Value::Int(0)),
+            Err(IStructureError::OutOfBounds { .. })
+        ));
+        assert!(s.require(ArrayId(7)).is_err());
+        assert!(matches!(
+            s.allocate(
+                ArrayId(1),
+                "bad",
+                ArrayShape::new(vec![0]),
+                Partitioning::new(0, 8, 1)
+            ),
+            Err(IStructureError::InvalidShape { .. })
+        ));
+        assert!(matches!(
+            s.allocate(
+                ArrayId(0),
+                "again",
+                ArrayShape::vector(2),
+                Partitioning::new(2, 8, 1)
+            ),
+            Err(IStructureError::DuplicateArray { .. })
+        ));
+        assert_eq!(s.num_arrays(), 1);
+        assert_eq!(s.snapshots().len(), 1);
+    }
+
+    #[test]
+    fn snapshots_follow_allocation_order() {
+        let s = store();
+        s.allocate(
+            ArrayId(1),
+            "b",
+            ArrayShape::vector(3),
+            Partitioning::single_owner(3, 8, 2, PeId(1)),
+        )
+        .unwrap();
+        s.require(ArrayId(1))
+            .unwrap()
+            .write(0, Value::Bool(true))
+            .unwrap();
+        let snaps = s.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].1, "a");
+        assert_eq!(snaps[1].1, "b");
+        assert_eq!(snaps[1].3[0], Some(Value::Bool(true)));
+        assert_eq!(s.num_arrays(), 2);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_fill_the_array() {
+        let s = Arc::new(SharedArrayStore::<usize>::new());
+        let shape = ArrayShape::matrix(8, 32);
+        let n = shape.len();
+        s.allocate(ArrayId(0), "c", shape, Partitioning::new(n, 32, 4))
+            .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                let a = s.require(ArrayId(0)).unwrap();
+                for offset in (t..n).step_by(4) {
+                    a.write(offset, Value::Int(offset as i64)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.require(ArrayId(0)).unwrap().snapshot();
+        assert!(snap
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v == Some(Value::Int(i as i64))));
+    }
+
+    #[test]
+    fn racing_writers_to_one_cell_produce_exactly_one_winner() {
+        let s = Arc::new(SharedArrayStore::<usize>::new());
+        s.allocate(
+            ArrayId(0),
+            "r",
+            ArrayShape::vector(1),
+            Partitioning::new(1, 8, 1),
+        )
+        .unwrap();
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let s = Arc::clone(&s);
+            let wins = Arc::clone(&wins);
+            handles.push(thread::spawn(move || {
+                let a = s.require(ArrayId(0)).unwrap();
+                if a.write(0, Value::Int(t as i64)).is_ok() {
+                    wins.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::SeqCst), 1);
+        assert!(s.require(ArrayId(0)).unwrap().peek(0).is_some());
+    }
+}

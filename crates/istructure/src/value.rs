@@ -8,7 +8,7 @@ use crate::header::ArrayId;
 /// them into I-structure array elements. Integers and floats are kept
 /// distinct because the simulated iPSC/2 timing model (paper §5.1) charges
 /// very different latencies for integer and floating-point operations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Value {
     /// A 64-bit signed integer (loop indices, bounds, dimensions).
     Int(i64),
@@ -19,6 +19,7 @@ pub enum Value {
     /// A reference to an allocated I-structure array.
     ArrayRef(ArrayId),
     /// The unit value produced by operators executed for effect only.
+    #[default]
     Unit,
 }
 
@@ -78,12 +79,6 @@ impl Value {
     /// operation should be charged at integer or floating-point cost.
     pub fn is_float(&self) -> bool {
         matches!(self, Value::Float(_))
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
     }
 }
 

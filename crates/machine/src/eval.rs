@@ -56,55 +56,55 @@ pub fn eval_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, EvalEr
             };
             Ok(Value::Bool(r))
         }
-        Add | Sub | Mul | Div | Rem | Min | Max | Pow => {
-            match (lhs, rhs) {
-                (Value::Int(a), Value::Int(b)) => match op {
-                    Add => Ok(Value::Int(a.wrapping_add(b))),
-                    Sub => Ok(Value::Int(a.wrapping_sub(b))),
-                    Mul => Ok(Value::Int(a.wrapping_mul(b))),
-                    Div => {
-                        if b == 0 {
-                            Err(EvalError("integer division by zero".into()))
-                        } else {
-                            Ok(Value::Int(a / b))
-                        }
+        Add | Sub | Mul | Div | Rem | Min | Max | Pow => match (lhs, rhs) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                Add => Ok(Value::Int(a.wrapping_add(b))),
+                Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                Div => {
+                    if b == 0 {
+                        Err(EvalError("integer division by zero".into()))
+                    } else {
+                        Ok(Value::Int(a / b))
                     }
-                    Rem => {
-                        if b == 0 {
-                            Err(EvalError("integer remainder by zero".into()))
-                        } else {
-                            Ok(Value::Int(a % b))
-                        }
-                    }
-                    Min => Ok(Value::Int(a.min(b))),
-                    Max => Ok(Value::Int(a.max(b))),
-                    Pow => {
-                        if b >= 0 && b < 64 {
-                            Ok(Value::Int(a.pow(b as u32)))
-                        } else {
-                            Ok(Value::Float((a as f64).powf(b as f64)))
-                        }
-                    }
-                    _ => unreachable!(),
-                },
-                (l, r) => {
-                    let a = numeric(&l, "left arithmetic operand")?;
-                    let b = numeric(&r, "right arithmetic operand")?;
-                    let v = match op {
-                        Add => a + b,
-                        Sub => a - b,
-                        Mul => a * b,
-                        Div => a / b,
-                        Rem => a % b,
-                        Min => a.min(b),
-                        Max => a.max(b),
-                        Pow => a.powf(b),
-                        _ => unreachable!(),
-                    };
-                    Ok(Value::Float(v))
                 }
+                Rem => {
+                    if b == 0 {
+                        Err(EvalError("integer remainder by zero".into()))
+                    } else {
+                        Ok(Value::Int(a % b))
+                    }
+                }
+                Min => Ok(Value::Int(a.min(b))),
+                Max => Ok(Value::Int(a.max(b))),
+                Pow => {
+                    if (0..64).contains(&b) {
+                        // Wrapping, like the add/sub/mul arms above: integer
+                        // overflow must not panic in debug builds.
+                        Ok(Value::Int(a.wrapping_pow(b as u32)))
+                    } else {
+                        Ok(Value::Float((a as f64).powf(b as f64)))
+                    }
+                }
+                _ => unreachable!(),
+            },
+            (l, r) => {
+                let a = numeric(&l, "left arithmetic operand")?;
+                let b = numeric(&r, "right arithmetic operand")?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Rem => a % b,
+                    Min => a.min(b),
+                    Max => a.max(b),
+                    Pow => a.powf(b),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(v))
             }
-        }
+        },
     }
 }
 
@@ -116,9 +116,9 @@ pub fn eval_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, EvalEr
 pub fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, EvalError> {
     use UnaryOp::*;
     match op {
-        Not => Ok(Value::Bool(!v
-            .as_bool()
-            .ok_or_else(|| EvalError(format!("operand of `not` is not boolean: {v}")))?)),
+        Not => Ok(Value::Bool(!v.as_bool().ok_or_else(|| {
+            EvalError(format!("operand of `not` is not boolean: {v}"))
+        })?)),
         Neg => match v {
             Value::Int(i) => Ok(Value::Int(-i)),
             other => Ok(Value::Float(-numeric(&other, "operand of negation")?)),
@@ -203,7 +203,10 @@ mod tests {
 
     #[test]
     fn unary_operators() {
-        assert_eq!(eval_unary(UnaryOp::Neg, Value::Int(3)).unwrap(), Value::Int(-3));
+        assert_eq!(
+            eval_unary(UnaryOp::Neg, Value::Int(3)).unwrap(),
+            Value::Int(-3)
+        );
         assert_eq!(
             eval_unary(UnaryOp::Abs, Value::Float(-2.5)).unwrap(),
             Value::Float(2.5)
@@ -212,8 +215,14 @@ mod tests {
             eval_unary(UnaryOp::Sqrt, Value::Int(9)).unwrap(),
             Value::Float(3.0)
         );
-        assert_eq!(eval_unary(UnaryOp::Floor, Value::Float(2.7)).unwrap(), Value::Int(2));
-        assert_eq!(eval_unary(UnaryOp::Ceil, Value::Float(2.1)).unwrap(), Value::Int(3));
+        assert_eq!(
+            eval_unary(UnaryOp::Floor, Value::Float(2.7)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Ceil, Value::Float(2.1)).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             eval_unary(UnaryOp::Not, Value::Bool(false)).unwrap(),
             Value::Bool(true)

@@ -59,7 +59,10 @@ impl std::fmt::Display for SimulationError {
             SimulationError::Deadlock {
                 stuck_instances,
                 detail,
-            } => write!(f, "deadlock: {stuck_instances} SP instances stuck ({detail})"),
+            } => write!(
+                f,
+                "deadlock: {stuck_instances} SP instances stuck ({detail})"
+            ),
             SimulationError::Runtime(msg) => write!(f, "runtime error: {msg}"),
             SimulationError::EventLimitExceeded { limit } => {
                 write!(f, "event limit of {limit} exceeded")
@@ -512,15 +515,13 @@ impl Simulation {
                 waiter,
             } => {
                 if self.pes[pe].memory.header(array).is_none() {
-                    self.pes[pe]
-                        .pending_remote
-                        .entry(array)
-                        .or_default()
-                        .push(Message::ReadRequest {
+                    self.pes[pe].pending_remote.entry(array).or_default().push(
+                        Message::ReadRequest {
                             array,
                             offset,
                             waiter,
-                        });
+                        },
+                    );
                     return;
                 }
                 match self.pes[pe].memory.read_as_owner(array, offset, waiter) {
@@ -580,22 +581,19 @@ impl Simulation {
                 value,
             } => {
                 if self.pes[pe].memory.header(array).is_none() {
-                    self.pes[pe]
-                        .pending_remote
-                        .entry(array)
-                        .or_default()
-                        .push(Message::WriteForward {
+                    self.pes[pe].pending_remote.entry(array).or_default().push(
+                        Message::WriteForward {
                             array,
                             offset,
                             value,
-                        });
+                        },
+                    );
                     return;
                 }
                 match self.pes[pe].memory.write(array, offset, value) {
                     Ok(WriteOutcome::Local { woken }) => {
                         self.pes[pe].stats.local_writes += 1;
-                        let service =
-                            t.memory_write + woken.len() as f64 * t.unit_signal;
+                        let service = t.memory_write + woken.len() as f64 * t.unit_signal;
                         let finish = self.schedule_unit(pe, AM, time, service);
                         for waiter in woken {
                             self.send_to_waiter(pe, waiter, value, finish);
@@ -641,10 +639,7 @@ impl Simulation {
                 PeId(origin),
             )
         };
-        if let Err(e) = self.pes[pe]
-            .memory
-            .allocate(id, name, shape, partitioning)
-        {
+        if let Err(e) = self.pes[pe].memory.allocate(id, name, shape, partitioning) {
             self.fail(e.to_string());
         }
     }
@@ -814,7 +809,7 @@ impl Simulation {
                     .iter()
                     .map(|d| self.operand(inst, d).as_i64().unwrap_or(0).max(0) as usize)
                     .collect();
-                if dim_values.iter().any(|&d| d == 0) {
+                if dim_values.contains(&0) {
                     self.fail(format!("array `{name}` allocated with a zero dimension"));
                     return Step::Next;
                 }
@@ -891,12 +886,8 @@ impl Simulation {
                     Ok(ReadOutcome::RemoteMiss { owner, .. }) => {
                         self.pes[pe].stats.remote_reads += 1;
                         inst.clear_slot(*dst);
-                        let finish = self.schedule_unit(
-                            pe,
-                            AM,
-                            *t,
-                            timing.memory_read + timing.unit_signal,
-                        );
+                        let finish =
+                            self.schedule_unit(pe, AM, *t, timing.memory_read + timing.unit_signal);
                         self.send_message(
                             pe,
                             owner.index(),
@@ -927,8 +918,7 @@ impl Simulation {
                 match self.pes[pe].memory.write(id, offset, v) {
                     Ok(WriteOutcome::Local { woken }) => {
                         self.pes[pe].stats.local_writes += 1;
-                        let service =
-                            timing.memory_write + woken.len() as f64 * timing.unit_signal;
+                        let service = timing.memory_write + woken.len() as f64 * timing.unit_signal;
                         let finish = self.schedule_unit(pe, AM, *t, service);
                         for waiter in woken {
                             self.send_to_waiter(pe, waiter, v, finish);

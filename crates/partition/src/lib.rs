@@ -502,10 +502,13 @@ mod tests {
 
         // The main template's spawn of the i-loop is now an LD.
         let main = program.template(program.entry());
-        assert!(main
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::Spawn { distributed: true, .. })));
+        assert!(main.code.iter().any(|i| matches!(
+            i,
+            Instr::Spawn {
+                distributed: true,
+                ..
+            }
+        )));
         // The i-loop starts with the Range-Filter bound operators.
         let i_loop = program.loop_template("main", 0).unwrap();
         assert!(matches!(i_loop.code[0], Instr::RangeLo { dim: 0, .. }));
@@ -556,10 +559,13 @@ mod tests {
         ));
         // The LD is inside the i-loop template (the parent), not in main.
         let i_loop = program.loop_template("main", 1).unwrap();
-        assert!(i_loop
-            .code
-            .iter()
-            .any(|i| matches!(i, Instr::Spawn { distributed: true, .. })));
+        assert!(i_loop.code.iter().any(|i| matches!(
+            i,
+            Instr::Spawn {
+                distributed: true,
+                ..
+            }
+        )));
     }
 
     #[test]

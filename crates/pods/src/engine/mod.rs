@@ -1,0 +1,257 @@
+//! The execution layer of PODS: one [`Engine`] abstraction, four engines.
+//!
+//! Historically the repository had three unrelated ways to execute a
+//! compiled program — the discrete-event machine simulator, the sequential
+//! baseline interpreter, and the Pingali & Rogers cost model — each with its
+//! own entry point and result type, wired ad hoc through the pipeline. This
+//! module unifies them behind a single trait (in the spirit of Timely
+//! Dataflow's `execute` layer): every engine consumes the same
+//! [`CompiledProgram`] and [`RunOptions`] and produces the same
+//! [`EngineOutcome`], so correctness can be cross-checked differentially and
+//! speed-up sweeps can compare simulated PEs against real hardware threads
+//! from one code path.
+//!
+//! The engines:
+//!
+//! * [`SimEngine`] — the paper-faithful instruction-level simulator
+//!   (`pods_machine::simulate`); reports *simulated* time on N virtual PEs.
+//! * [`SequentialEngine`] — the control-driven sequential interpreter
+//!   (`pods_baseline::run_sequential`); the correctness oracle.
+//! * [`PrEstimateEngine`] — the static-compilation cost model
+//!   (`pods_baseline::PrModel`) driven by a sequential profile.
+//! * [`NativeParallelEngine`] — the headline addition: executes the
+//!   partitioned SP program on a real work-stealing thread pool with a
+//!   thread-safe I-structure store, reporting *wall-clock* time on N OS
+//!   threads.
+//!
+//! ```
+//! use pods::{compile, engine_by_name, RunOptions, Value};
+//!
+//! let program = compile(
+//!     "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * i; } return a; }",
+//! )?;
+//! for name in ["sim", "seq", "pr", "native"] {
+//!     let engine = engine_by_name(name).unwrap();
+//!     let outcome = engine.run(&program, &[Value::Int(8)], &RunOptions::with_pes(2))?;
+//!     assert_eq!(outcome.returned_array().unwrap().get(&[3]), Some(Value::Int(9)));
+//! }
+//! # Ok::<(), pods::PodsError>(())
+//! ```
+
+mod native;
+mod pr;
+mod seq;
+mod sim;
+
+pub use native::{NativeParallelEngine, NativeStats};
+pub use pr::PrEstimateEngine;
+pub use seq::SequentialEngine;
+pub use sim::SimEngine;
+
+use crate::error::PodsError;
+use crate::pipeline::{CompiledProgram, RunOptions};
+use pods_baseline::PrPoint;
+use pods_istructure::Value;
+use pods_machine::{ArraySnapshot, SimulationStats, Unit};
+use pods_partition::PartitionReport;
+
+/// A uniform executor of compiled PODS programs.
+///
+/// Engines are stateless and cheap to construct; configuration that varies
+/// per run (machine size, page size, partitioning switches) travels in
+/// [`RunOptions`].
+pub trait Engine: Send + Sync {
+    /// Short stable name used for engine selection (`"sim"`, `"seq"`,
+    /// `"pr"`, `"native"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description of what the engine measures.
+    fn description(&self) -> &'static str;
+
+    /// Executes `program` with `args` under `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PodsError`] for malformed invocations (missing `main`,
+    /// argument-count mismatch) and for run-time failures (deadlock,
+    /// single-assignment violations, out-of-bounds accesses).
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+        opts: &RunOptions,
+    ) -> Result<EngineOutcome, PodsError>;
+}
+
+/// Per-engine statistics attached to an [`EngineOutcome`].
+#[derive(Debug, Clone)]
+pub enum EngineStats {
+    /// Machine-simulator statistics plus the partitioning decisions.
+    Simulated {
+        /// Per-unit utilizations, counters, elapsed simulated time.
+        stats: SimulationStats,
+        /// The partitioner's per-loop decisions.
+        partition: PartitionReport,
+    },
+    /// Sequential-interpreter profile summary.
+    Sequential {
+        /// Number of top-level loop nests profiled.
+        nests: usize,
+        /// Modelled time spent outside any loop nest (microseconds).
+        serial_us: f64,
+    },
+    /// The static-compilation model's estimate.
+    Estimated {
+        /// The modelled point (PEs, time, speed-up).
+        point: PrPoint,
+    },
+    /// Native thread-pool statistics plus the partitioning decisions.
+    Native {
+        /// Worker/instance/steal counters from the pool.
+        stats: NativeStats,
+        /// The partitioner's per-loop decisions.
+        partition: PartitionReport,
+    },
+}
+
+/// The uniform result of running a program on any [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// Name of the engine that produced this outcome.
+    pub engine: &'static str,
+    /// The value returned by `main`, if any.
+    pub return_value: Option<Value>,
+    /// Final contents of every allocated array, in allocation order.
+    pub arrays: Vec<ArraySnapshot>,
+    /// Modelled/simulated elapsed time in microseconds, for engines that
+    /// model time (`sim`, `seq`, `pr`); `None` for the native engine, whose
+    /// only honest clock is the wall.
+    pub modelled_us: Option<f64>,
+    /// Measured host wall-clock time of the run, in microseconds.
+    pub wall_us: f64,
+    /// Engine-specific statistics.
+    pub stats: EngineStats,
+}
+
+impl EngineOutcome {
+    /// The elapsed time this engine is designed to report: modelled time
+    /// when the engine models one, wall-clock time otherwise. This is the
+    /// quantity speed-up sweeps compare.
+    pub fn elapsed_us(&self) -> f64 {
+        self.modelled_us.unwrap_or(self.wall_us)
+    }
+
+    /// The last-allocated array with the given source-level name.
+    pub fn array(&self, name: &str) -> Option<&ArraySnapshot> {
+        self.arrays.iter().rev().find(|a| a.name == name)
+    }
+
+    /// The array referenced by `main`'s return value, if it returned one.
+    pub fn returned_array(&self) -> Option<&ArraySnapshot> {
+        match self.return_value {
+            Some(Value::ArrayRef(id)) => self.arrays.iter().find(|a| a.id == id),
+            _ => None,
+        }
+    }
+
+    /// Execution-Unit utilization, for engines that simulate the machine.
+    pub fn eu_utilization(&self) -> Option<f64> {
+        match &self.stats {
+            EngineStats::Simulated { stats, .. } => Some(stats.utilization(Unit::Execution)),
+            _ => None,
+        }
+    }
+
+    /// The partition report, for engines that run the partitioned program.
+    pub fn partition(&self) -> Option<&PartitionReport> {
+        match &self.stats {
+            EngineStats::Simulated { partition, .. } | EngineStats::Native { partition, .. } => {
+                Some(partition)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Names of all built-in engines, in canonical order.
+pub const ENGINE_NAMES: [&str; 4] = ["sim", "seq", "pr", "native"];
+
+/// Looks an engine up by name (case-insensitive; a few aliases accepted).
+///
+/// Returns `None` for unknown names; [`crate::pipeline::CompiledProgram::run_on`]
+/// converts that into [`PodsError::UnknownEngine`].
+pub fn engine_by_name(name: &str) -> Option<Box<dyn Engine>> {
+    match name.to_ascii_lowercase().as_str() {
+        "sim" | "simulator" | "pods" => Some(Box::new(SimEngine)),
+        "seq" | "sequential" | "baseline" => Some(Box::new(SequentialEngine)),
+        "pr" | "estimate" | "pingali-rogers" => Some(Box::new(PrEstimateEngine::default())),
+        "native" | "threads" | "parallel" => Some(Box::new(NativeParallelEngine)),
+        _ => None,
+    }
+}
+
+/// Shared argument validation used by every engine.
+pub(crate) fn check_invocation(program: &CompiledProgram, args: &[Value]) -> Result<(), PodsError> {
+    let Some(entry) = program.hir().entry() else {
+        return Err(PodsError::MissingEntry);
+    };
+    if entry.params.len() != args.len() {
+        return Err(PodsError::ArgumentMismatch {
+            expected: entry.params.len(),
+            got: args.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+
+    #[test]
+    fn registry_resolves_names_and_aliases() {
+        for name in ENGINE_NAMES {
+            let engine = engine_by_name(name).unwrap();
+            assert_eq!(engine.name(), name);
+            assert!(!engine.description().is_empty());
+        }
+        assert_eq!(engine_by_name("SIMULATOR").unwrap().name(), "sim");
+        assert_eq!(engine_by_name("threads").unwrap().name(), "native");
+        assert!(engine_by_name("warp-drive").is_none());
+    }
+
+    #[test]
+    fn every_engine_validates_invocations() {
+        let program = compile("def main(n) { return n; }").unwrap();
+        let no_main = compile("def helper(x) { return x; }").unwrap();
+        for name in ENGINE_NAMES {
+            let engine = engine_by_name(name).unwrap();
+            assert!(matches!(
+                engine.run(&program, &[], &RunOptions::default()),
+                Err(PodsError::ArgumentMismatch {
+                    expected: 1,
+                    got: 0
+                })
+            ));
+            assert!(matches!(
+                engine.run(&no_main, &[], &RunOptions::default()),
+                Err(PodsError::MissingEntry)
+            ));
+        }
+    }
+
+    #[test]
+    fn scalar_program_agrees_across_all_engines() {
+        let program = compile("def main(n) { return n * 3 + 1; }").unwrap();
+        for name in ENGINE_NAMES {
+            let engine = engine_by_name(name).unwrap();
+            let outcome = engine
+                .run(&program, &[Value::Int(4)], &RunOptions::with_pes(2))
+                .unwrap();
+            assert_eq!(outcome.return_value, Some(Value::Int(13)), "{name}");
+            assert_eq!(outcome.engine, engine.name());
+            assert!(outcome.elapsed_us() >= 0.0);
+        }
+    }
+}

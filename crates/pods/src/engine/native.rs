@@ -1,0 +1,922 @@
+//! The native multi-threaded parallel engine.
+//!
+//! Where [`super::SimEngine`] *models* iteration-level parallelism on
+//! simulated PEs, this engine *runs* it: the partitioned SP program executes
+//! on a pool of real OS threads (one "virtual PE" per worker), iteration
+//! instances are spawned per the partitioner's distribution decisions
+//! (distributing allocate, `LD`, Range Filters), and instances synchronise
+//! through the thread-safe I-structure store
+//! ([`pods_istructure::SharedArrayStore`]) — write-once cells whose deferred
+//! readers are re-activated by the eventual write, exactly the paper's
+//! presence-bit protocol lifted onto threads.
+//!
+//! Scheduling mirrors the paper's blocked/ready instance model rather than
+//! blocking OS threads: when an instance needs an operand that has not
+//! arrived (an unwritten array element or an outstanding function return),
+//! the *instance* is parked and the worker thread moves on to other work.
+//! The write (or return) that produces the operand delivers it into the
+//! parked frame and re-enqueues the instance. This makes the engine
+//! deadlock-free under any scheduling order a correct program allows, and
+//! lets it detect true deadlocks exactly: when no task is queued or running
+//! but instances remain parked, no future delivery can happen.
+//!
+//! The pool is work-stealing: each worker owns a deque, pushes the instances
+//! it spawns or wakes locally (loop bodies stay near their Range-Filtered
+//! parent), and steals from siblings when idle — `std` threads, mutexes and
+//! condvars only, no unsafe code.
+
+use super::{check_invocation, Engine, EngineOutcome, EngineStats};
+use crate::error::PodsError;
+use crate::pipeline::{CompiledProgram, RunOptions};
+use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
+use pods_machine::{eval_binary, eval_unary, ArraySnapshot, InstanceId, SimulationError};
+use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executes the partitioned SP program on a real work-stealing thread pool
+/// with `opts.num_pes` workers. Reports wall-clock time — the only honest
+/// clock for native execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeParallelEngine;
+
+/// Counters reported by the native thread pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// SP instances created over the run.
+    pub instances: u64,
+    /// Task executions, counting each resume of a parked instance.
+    pub tasks: u64,
+    /// Times an instance was parked waiting for an operand.
+    pub parks: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+}
+
+/// `(instance, slot)` continuation tag: where a produced value must go.
+type NativeWaiter = (InstanceId, SlotId);
+
+/// The run-time frame of one native SP instance.
+#[derive(Debug)]
+struct NInstance {
+    id: InstanceId,
+    template: SpId,
+    /// The virtual PE this instance runs as (drives Range Filters).
+    pe: usize,
+    pc: usize,
+    slots: Vec<Option<Value>>,
+    return_to: Option<NativeWaiter>,
+}
+
+impl NInstance {
+    fn new(
+        id: InstanceId,
+        template: SpId,
+        pe: usize,
+        num_slots: usize,
+        args: &[Value],
+        return_to: Option<NativeWaiter>,
+    ) -> Self {
+        let mut slots = vec![None; num_slots];
+        for (i, v) in args.iter().enumerate() {
+            if i < num_slots {
+                slots[i] = Some(*v);
+            }
+        }
+        NInstance {
+            id,
+            template,
+            pe,
+            pc: 0,
+            slots,
+            return_to,
+        }
+    }
+
+    fn slot(&self, slot: SlotId) -> Option<Value> {
+        self.slots.get(slot.index()).copied().flatten()
+    }
+
+    fn is_present(&self, slot: SlotId) -> bool {
+        self.slot(slot).is_some()
+    }
+
+    fn set_slot(&mut self, slot: SlotId, value: Value) {
+        if slot.index() < self.slots.len() {
+            self.slots[slot.index()] = Some(value);
+        }
+    }
+
+    fn clear_slot(&mut self, slot: SlotId) {
+        if slot.index() < self.slots.len() {
+            self.slots[slot.index()] = None;
+        }
+    }
+}
+
+/// What executing one instruction asks the worker loop to do next.
+enum Step {
+    Next,
+    Jump(usize),
+    /// Park the instance waiting on the slot. The program counter has
+    /// already been advanced past the issuing instruction.
+    Park(SlotId),
+    Finished(Option<Value>),
+}
+
+/// An instance parked on a missing operand.
+struct Blocked {
+    inst: NInstance,
+    slot: SlotId,
+}
+
+/// Per-task memo of array directory lookups.
+///
+/// Going through the store's `RwLock`ed directory (plus an `Arc` refcount
+/// bump) for every element access serialises the workers on two shared
+/// cache lines; loop instances touch the same few arrays thousands of
+/// times, so one lookup per task amortises to nothing. The cache lives on
+/// the worker's stack for the duration of one task execution and is simply
+/// rebuilt after a park.
+#[derive(Default)]
+struct ArrayCache {
+    entries: Vec<(ArrayId, Arc<pods_istructure::SharedArray<NativeWaiter>>)>,
+}
+
+impl ArrayCache {
+    fn get(
+        &mut self,
+        store: &SharedArrayStore<NativeWaiter>,
+        id: ArrayId,
+    ) -> Result<&pods_istructure::SharedArray<NativeWaiter>, String> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == id) {
+            return Ok(&self.entries[i].1);
+        }
+        let shared = store.require(id).map_err(|e| e.to_string())?;
+        self.entries.push((id, shared));
+        Ok(&self.entries.last().expect("just pushed").1)
+    }
+}
+
+/// Parked-instance registry plus the mailbox for values that arrive while
+/// their target instance is queued or running.
+#[derive(Default)]
+struct Sched {
+    blocked: HashMap<InstanceId, Blocked>,
+    mailbox: HashMap<InstanceId, Vec<(SlotId, Value)>>,
+}
+
+/// Liveness accounting. `live` counts existing instances (queued, running,
+/// or parked); `in_flight` counts queued-or-running tasks; `ready` counts
+/// queued tasks (the condvar predicate for idle workers).
+struct Coord {
+    live: usize,
+    in_flight: usize,
+    ready: isize,
+    shutdown: bool,
+}
+
+struct Pool {
+    program: Arc<SpProgram>,
+    /// Precomputed read-slot lists per (template, pc): the firing-rule
+    /// check runs for every executed instruction, and rebuilding the list
+    /// (a heap allocation) each time is measurable across millions of
+    /// instructions.
+    read_slots: Vec<Vec<Vec<SlotId>>>,
+    store: SharedArrayStore<NativeWaiter>,
+    queues: Vec<Mutex<VecDeque<NInstance>>>,
+    coord: Mutex<Coord>,
+    cv: Condvar,
+    sched: Mutex<Sched>,
+    stop: AtomicBool,
+    error: Mutex<Option<SimulationError>>,
+    result: Mutex<Option<Value>>,
+    entry: InstanceId,
+    workers: usize,
+    page_size: usize,
+    /// 0 = unlimited; otherwise abort after this many task executions
+    /// (the native analogue of the simulator's event limit).
+    max_tasks: u64,
+    next_instance: AtomicU64,
+    next_array: AtomicUsize,
+    tasks: AtomicU64,
+    parks: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl Pool {
+    fn new(program: SpProgram, workers: usize, page_size: usize, max_tasks: u64) -> Self {
+        let read_slots = program
+            .templates()
+            .iter()
+            .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
+            .collect();
+        Pool {
+            program: Arc::new(program),
+            read_slots,
+            store: SharedArrayStore::new(),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            coord: Mutex::new(Coord {
+                live: 0,
+                in_flight: 0,
+                ready: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            sched: Mutex::new(Sched::default()),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            result: Mutex::new(None),
+            entry: InstanceId(0),
+            workers,
+            page_size,
+            max_tasks,
+            next_instance: AtomicU64::new(0),
+            next_array: AtomicUsize::new(0),
+            tasks: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_coord(&self) -> std::sync::MutexGuard<'_, Coord> {
+        self.coord.lock().expect("coord poisoned")
+    }
+
+    /// Records the first error and initiates shutdown.
+    fn fail(&self, err: SimulationError) {
+        {
+            let mut slot = self.error.lock().expect("error poisoned");
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.shutdown();
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.lock_coord().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// No queued or running task remains but instances are still parked:
+    /// nothing can ever deliver their operands.
+    fn report_deadlock(&self) {
+        let sched = self.sched.lock().expect("sched poisoned");
+        let stuck = sched.blocked.len();
+        let detail = sched
+            .blocked
+            .values()
+            .next()
+            .map(|b| {
+                let template = self.program.template(b.inst.template);
+                format!(
+                    "inst{} of {} parked at pc {} on {}",
+                    b.inst.id.0, template.name, b.inst.pc, b.slot
+                )
+            })
+            .unwrap_or_default();
+        drop(sched);
+        self.fail(SimulationError::Deadlock {
+            stuck_instances: stuck.max(1),
+            detail,
+        });
+    }
+
+    /// Makes a task runnable on worker `w`'s deque. `new` marks a freshly
+    /// created instance (as opposed to a woken one).
+    fn enqueue(&self, w: usize, inst: NInstance, new: bool) {
+        {
+            let mut c = self.lock_coord();
+            if new {
+                c.live += 1;
+            }
+            c.in_flight += 1;
+            c.ready += 1;
+        }
+        self.queues[w]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(inst);
+        self.cv.notify_one();
+    }
+
+    fn spawn_instance(
+        &self,
+        w: usize,
+        template_id: SpId,
+        args: Vec<Value>,
+        pe: usize,
+        return_to: Option<NativeWaiter>,
+    ) {
+        let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
+        let num_slots = self.program.template(template_id).num_slots;
+        let inst = NInstance::new(id, template_id, pe, num_slots, &args, return_to);
+        self.enqueue(w, inst, true);
+    }
+
+    /// Pops the next task: own deque first (LIFO end for locality), then
+    /// steal from siblings (FIFO end, taking the oldest work).
+    fn pop_task(&self, w: usize) -> Option<NInstance> {
+        let own = self.queues[w].lock().expect("queue poisoned").pop_back();
+        let task = own.or_else(|| {
+            (1..self.workers).find_map(|i| {
+                let victim = (w + i) % self.workers;
+                let stolen = self.queues[victim]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_front();
+                if stolen.is_some() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                stolen
+            })
+        });
+        if task.is_some() {
+            self.lock_coord().ready -= 1;
+        }
+        task
+    }
+
+    /// Sends a value to a waiter. If the target is parked on that slot it is
+    /// woken onto worker `w`'s deque; otherwise the value is stashed in the
+    /// mailbox for the target to drain at its next park attempt.
+    fn deliver(&self, w: usize, waiter: NativeWaiter, value: Value) {
+        let (target, slot) = waiter;
+        let mut sched = self.sched.lock().expect("sched poisoned");
+        if let Some(b) = sched.blocked.get_mut(&target) {
+            b.inst.set_slot(slot, value);
+            if b.slot == slot {
+                let b = sched.blocked.remove(&target).expect("checked above");
+                drop(sched);
+                self.enqueue(w, b.inst, false);
+            }
+        } else {
+            sched.mailbox.entry(target).or_default().push((slot, value));
+        }
+    }
+
+    /// Parks `inst` waiting on `slot`, unless a mailbox delivery already
+    /// filled it — in that case the instance is handed back for the worker
+    /// to keep running.
+    fn park(&self, mut inst: NInstance, slot: SlotId) -> Option<NInstance> {
+        let mut sched = self.sched.lock().expect("sched poisoned");
+        if let Some(msgs) = sched.mailbox.remove(&inst.id) {
+            for (s, v) in msgs {
+                inst.set_slot(s, v);
+            }
+        }
+        if inst.is_present(slot) {
+            return Some(inst);
+        }
+        sched.blocked.insert(inst.id, Blocked { inst, slot });
+        drop(sched);
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let mut c = self.lock_coord();
+        c.in_flight -= 1;
+        let deadlocked = c.in_flight == 0 && c.live > 0 && !c.shutdown;
+        drop(c);
+        if deadlocked {
+            self.report_deadlock();
+        }
+        None
+    }
+
+    /// Terminates an instance, routing its return value.
+    fn finish(&self, inst: NInstance, value: Option<Value>, w: usize) {
+        if inst.id == self.entry {
+            *self.result.lock().expect("result poisoned") = value;
+        } else if let (Some(ret), Some(v)) = (inst.return_to, value) {
+            self.deliver(w, ret, v);
+        }
+        let mut c = self.lock_coord();
+        c.in_flight -= 1;
+        c.live -= 1;
+        let all_done = c.live == 0;
+        let deadlocked = !all_done && c.in_flight == 0 && !c.shutdown;
+        drop(c);
+        if all_done {
+            self.shutdown();
+        } else if deadlocked {
+            self.report_deadlock();
+        }
+    }
+
+    /// Accounting for a task abandoned because of a global error.
+    fn abandon(&self) {
+        let mut c = self.lock_coord();
+        c.in_flight -= 1;
+        c.live -= 1;
+    }
+
+    fn operand(&self, inst: &NInstance, op: &Operand) -> Value {
+        match op {
+            Operand::Slot(s) => inst.slot(*s).unwrap_or(Value::Unit),
+            Operand::Int(v) => Value::Int(*v),
+            Operand::Float(v) => Value::Float(*v),
+            Operand::Bool(v) => Value::Bool(*v),
+        }
+    }
+
+    fn array_offset(
+        &self,
+        cache: &mut ArrayCache,
+        inst: &NInstance,
+        array: Value,
+        indices: &[Operand],
+    ) -> Result<(ArrayId, usize), String> {
+        let Some(id) = array.as_array() else {
+            return Err(format!("expected an array reference, found {array}"));
+        };
+        let idx: Vec<i64> = indices
+            .iter()
+            .map(|i| self.operand(inst, i).as_i64().unwrap_or(-1))
+            .collect();
+        let shared = cache.get(&self.store, id)?;
+        match shared.header().offset_of(&idx) {
+            Some(offset) => Ok((id, offset)),
+            None => Err(format!(
+                "index {idx:?} out of bounds for {} array `{}`",
+                shared.header().shape(),
+                shared.header().name()
+            )),
+        }
+    }
+
+    fn execute(
+        &self,
+        cache: &mut ArrayCache,
+        inst: &mut NInstance,
+        instr: &Instr,
+        w: usize,
+    ) -> Result<Step, String> {
+        match instr {
+            Instr::Binary { op, dst, lhs, rhs } => {
+                let a = self.operand(inst, lhs);
+                let b = self.operand(inst, rhs);
+                let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
+                inst.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Unary { op, dst, src } => {
+                let a = self.operand(inst, src);
+                let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
+                inst.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Move { dst, src } => {
+                let v = self.operand(inst, src);
+                inst.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Jump { target } => Ok(Step::Jump(*target)),
+            Instr::BranchIfFalse { cond, target } => {
+                if self.operand(inst, cond).as_bool().unwrap_or(false) {
+                    Ok(Step::Next)
+                } else {
+                    Ok(Step::Jump(*target))
+                }
+            }
+            Instr::ArrayAlloc {
+                dst,
+                name,
+                dims,
+                distributed,
+            } => {
+                let dim_values: Vec<usize> = dims
+                    .iter()
+                    .map(|d| self.operand(inst, d).as_i64().unwrap_or(0).max(0) as usize)
+                    .collect();
+                if dim_values.contains(&0) {
+                    return Err(format!("array `{name}` allocated with a zero dimension"));
+                }
+                let id = ArrayId(self.next_array.fetch_add(1, Ordering::Relaxed));
+                let total: usize = dim_values.iter().product();
+                let partitioning = if *distributed {
+                    Partitioning::new(total, self.page_size, self.workers)
+                } else {
+                    Partitioning::single_owner(total, self.page_size, self.workers, PeId(inst.pe))
+                };
+                self.store
+                    .allocate(
+                        id,
+                        name.clone(),
+                        pods_istructure::ArrayShape::new(dim_values),
+                        partitioning,
+                    )
+                    .map_err(|e| e.to_string())?;
+                inst.set_slot(*dst, Value::ArrayRef(id));
+                Ok(Step::Next)
+            }
+            Instr::ArrayLoad {
+                dst,
+                array,
+                indices,
+            } => {
+                let array_v = self.operand(inst, array);
+                let (id, offset) = self.array_offset(cache, inst, array_v, indices)?;
+                let shared = cache.get(&self.store, id)?;
+                match shared
+                    .read(offset, (inst.id, *dst))
+                    .map_err(|e| e.to_string())?
+                {
+                    SharedReadResult::Present(v) => {
+                        inst.set_slot(*dst, v);
+                        Ok(Step::Next)
+                    }
+                    SharedReadResult::Deferred => {
+                        // The producing write will deliver into `dst`;
+                        // resume after the load.
+                        inst.clear_slot(*dst);
+                        inst.pc += 1;
+                        Ok(Step::Park(*dst))
+                    }
+                }
+            }
+            Instr::ArrayStore {
+                array,
+                indices,
+                value,
+            } => {
+                let array_v = self.operand(inst, array);
+                let v = self.operand(inst, value);
+                let (id, offset) = self.array_offset(cache, inst, array_v, indices)?;
+                let shared = cache.get(&self.store, id)?;
+                let woken = shared.write(offset, v).map_err(|e| e.to_string())?;
+                for waiter in woken {
+                    self.deliver(w, waiter, v);
+                }
+                Ok(Step::Next)
+            }
+            Instr::Spawn {
+                target,
+                args,
+                distributed,
+                ret,
+            } => {
+                let arg_values: Vec<Value> = args.iter().map(|a| self.operand(inst, a)).collect();
+                let return_to = ret.map(|slot| {
+                    inst.clear_slot(slot);
+                    (inst.id, slot)
+                });
+                if *distributed {
+                    for q in 0..self.workers {
+                        let ret_here = if q == inst.pe { return_to } else { None };
+                        self.spawn_instance(w, *target, arg_values.clone(), q, ret_here);
+                    }
+                } else {
+                    self.spawn_instance(w, *target, arg_values, inst.pe, return_to);
+                }
+                Ok(Step::Next)
+            }
+            Instr::RangeLo {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            }
+            | Instr::RangeHi {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            } => {
+                let is_lo = matches!(instr, Instr::RangeLo { .. });
+                let array_v = self.operand(inst, array);
+                let default_v = self.operand(inst, default).as_i64().unwrap_or(0);
+                let outer_v = outer
+                    .as_ref()
+                    .map(|o| self.operand(inst, o).as_i64().unwrap_or(0));
+                let Some(id) = array_v.as_array() else {
+                    return Err(format!("range filter on a non-array value {array_v}"));
+                };
+                let shared = cache.get(&self.store, id)?;
+                let range = shared.header().responsibility(PeId(inst.pe), *dim, outer_v);
+                let value = if is_lo {
+                    default_v.max(range.start)
+                } else {
+                    default_v.min(range.end)
+                };
+                inst.set_slot(*dst, Value::Int(value));
+                Ok(Step::Next)
+            }
+            Instr::Return { value } => {
+                let v = value.as_ref().map(|op| self.operand(inst, op));
+                Ok(Step::Finished(v))
+            }
+        }
+    }
+
+    /// Runs one instance until it finishes, parks, or the pool shuts down.
+    fn run_instance(&self, mut inst: NInstance, w: usize) {
+        let executed = self.tasks.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.max_tasks > 0 && executed > self.max_tasks {
+            self.fail(SimulationError::EventLimitExceeded {
+                limit: self.max_tasks,
+            });
+            self.abandon();
+            return;
+        }
+        let program = Arc::clone(&self.program);
+        let template = program.template(inst.template);
+        let slot_table = &self.read_slots[inst.template.index()];
+        let mut cache = ArrayCache::default();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                self.abandon();
+                return;
+            }
+            if inst.pc >= template.code.len() {
+                self.finish(inst, None, w);
+                return;
+            }
+            let instr = &template.code[inst.pc];
+            // Dataflow firing rule: every needed operand must be present.
+            if let Some(missing) = slot_table[inst.pc]
+                .iter()
+                .copied()
+                .find(|s| !inst.is_present(*s))
+            {
+                match self.park(inst, missing) {
+                    Some(resumed) => {
+                        inst = resumed;
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+            match self.execute(&mut cache, &mut inst, instr, w) {
+                Ok(Step::Next) => inst.pc += 1,
+                Ok(Step::Jump(target)) => inst.pc = target,
+                Ok(Step::Park(slot)) => match self.park(inst, slot) {
+                    Some(resumed) => inst = resumed,
+                    None => return,
+                },
+                Ok(Step::Finished(v)) => {
+                    self.finish(inst, v, w);
+                    return;
+                }
+                Err(msg) => {
+                    self.fail(SimulationError::Runtime(msg));
+                    self.abandon();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn worker(&self, w: usize) {
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if let Some(inst) = self.pop_task(w) {
+                self.run_instance(inst, w);
+                continue;
+            }
+            let c = self.lock_coord();
+            if c.shutdown {
+                return;
+            }
+            if c.ready <= 0 {
+                // Timed wait: the predicate spans the per-worker deques, so
+                // a bounded timeout guards the rare enqueue/sleep race.
+                let _unused = self
+                    .cv
+                    .wait_timeout(c, Duration::from_millis(2))
+                    .expect("coord poisoned");
+            }
+        }
+    }
+
+    fn stats(&self) -> NativeStats {
+        NativeStats {
+            workers: self.workers,
+            instances: self.next_instance.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Executes a partitioned program on `workers` threads and returns the
+/// return value, the array snapshots, and the pool counters.
+fn execute_native(
+    program: SpProgram,
+    args: &[Value],
+    workers: usize,
+    page_size: usize,
+    max_tasks: u64,
+) -> Result<(Option<Value>, Vec<ArraySnapshot>, NativeStats), SimulationError> {
+    let entry = program.entry();
+    let pool = Arc::new(Pool::new(program, workers, page_size, max_tasks));
+    pool.spawn_instance(0, entry, args.to_vec(), 0, None);
+
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || pool.worker(w)));
+    }
+    for h in handles {
+        h.join().expect("native worker panicked");
+    }
+
+    if let Some(err) = pool.error.lock().expect("error poisoned").take() {
+        return Err(err);
+    }
+    let arrays = pool
+        .store
+        .snapshots()
+        .into_iter()
+        .map(|(id, name, shape, values)| ArraySnapshot {
+            id,
+            name,
+            shape,
+            values,
+        })
+        .collect();
+    let result = pool.result.lock().expect("result poisoned").take();
+    Ok((result, arrays, pool.stats()))
+}
+
+impl Engine for NativeParallelEngine {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn description(&self) -> &'static str {
+        "work-stealing thread pool over the shared I-structure store (wall-clock time on N threads)"
+    }
+
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+        opts: &RunOptions,
+    ) -> Result<EngineOutcome, PodsError> {
+        check_invocation(program, args)?;
+        let workers = opts.num_pes.max(1);
+        let start = Instant::now();
+        let (partitioned, partition) = program.partitioned(opts);
+        let (return_value, arrays, stats) =
+            execute_native(partitioned, args, workers, opts.page_size, opts.max_events)?;
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        Ok(EngineOutcome {
+            engine: self.name(),
+            return_value,
+            arrays,
+            modelled_us: None,
+            wall_us,
+            stats: EngineStats::Native { stats, partition },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+
+    fn run_native(src: &str, args: &[Value], workers: usize) -> EngineOutcome {
+        let program = compile(src).unwrap();
+        NativeParallelEngine
+            .run(&program, args, &RunOptions::with_pes(workers))
+            .unwrap()
+    }
+
+    #[test]
+    fn scalar_and_function_calls() {
+        let outcome = run_native(
+            "def main(n) { x = double(n); return x + 1; } def double(v) { return v * 2; }",
+            &[Value::Int(10)],
+            2,
+        );
+        assert_eq!(outcome.return_value, Some(Value::Int(21)));
+        assert!(matches!(
+            outcome.stats,
+            EngineStats::Native { stats, .. } if stats.workers == 2 && stats.instances >= 2
+        ));
+    }
+
+    #[test]
+    fn distributed_fill_is_complete_on_any_worker_count() {
+        let src = r#"
+            def main(n) {
+                a = matrix(n, n);
+                for i = 0 to n - 1 {
+                    for j = 0 to n - 1 { a[i, j] = i * n + j; }
+                }
+                return a;
+            }
+        "#;
+        let reference = run_native(src, &[Value::Int(8)], 1);
+        let expected = reference.returned_array().unwrap().to_f64(-1.0);
+        for workers in [2, 4, 8] {
+            let outcome = run_native(src, &[Value::Int(8)], workers);
+            let a = outcome.returned_array().unwrap();
+            assert!(a.is_complete(), "incomplete on {workers} workers");
+            assert_eq!(
+                a.to_f64(-1.0),
+                expected,
+                "wrong values on {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn consumers_park_until_producers_write() {
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                for i = 0 to n - 1 { a[i] = i * 2; }
+                s = a[n - 1] + a[0];
+                return s;
+            }
+        "#;
+        let outcome = run_native(src, &[Value::Int(10)], 4);
+        assert_eq!(outcome.return_value, Some(Value::Int(18)));
+    }
+
+    #[test]
+    fn carried_recurrence_is_computed_correctly() {
+        let src = r#"
+            def main(n) {
+                src = array(n);
+                for i = 0 to n - 1 { src[i] = i * 1.0; }
+                acc = array(n);
+                acc[0] = src[0];
+                for i = 1 to n - 1 { acc[i] = acc[i - 1] + src[i]; }
+                return acc;
+            }
+        "#;
+        let outcome = run_native(src, &[Value::Int(16)], 4);
+        let acc = outcome.returned_array().unwrap();
+        assert!(acc.is_complete());
+        assert_eq!(acc.get(&[15]), Some(Value::Float(120.0)));
+    }
+
+    #[test]
+    fn single_assignment_violation_is_a_runtime_error() {
+        let program =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[0] = i; } return 0; }")
+                .unwrap();
+        let err = NativeParallelEngine
+            .run(&program, &[Value::Int(4)], &RunOptions::with_pes(1))
+            .unwrap_err();
+        assert!(
+            matches!(err, PodsError::Simulation(SimulationError::Runtime(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn reading_a_never_written_element_is_detected_as_deadlock() {
+        let program = compile("def main(n) { a = array(n); a[0] = 1; return a[1]; }").unwrap();
+        for workers in [1, 4] {
+            let err = NativeParallelEngine
+                .run(&program, &[Value::Int(4)], &RunOptions::with_pes(workers))
+                .unwrap_err();
+            assert!(
+                matches!(err, PodsError::Simulation(SimulationError::Deadlock { .. })),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_limit_aborts_runaway_runs() {
+        let program = compile(
+            "def main(n) { a = matrix(n, n); for i = 0 to n - 1 { for j = 0 to n - 1 { a[i, j] = i + j; } } return a; }",
+        )
+        .unwrap();
+        let mut opts = RunOptions::with_pes(2);
+        opts.max_events = 3;
+        let err = NativeParallelEngine
+            .run(&program, &[Value::Int(8)], &opts)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PodsError::Simulation(SimulationError::EventLimitExceeded { limit: 3 })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_reported() {
+        let program = compile("def main(n) { a = array(n); a[n + 5] = 1; return 0; }").unwrap();
+        let err = NativeParallelEngine
+            .run(&program, &[Value::Int(4)], &RunOptions::with_pes(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PodsError::Simulation(SimulationError::Runtime(_))
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! The sequential-interpreter engine (the correctness oracle).
+
+use super::{check_invocation, Engine, EngineOutcome, EngineStats};
+use crate::error::PodsError;
+use crate::pipeline::{CompiledProgram, RunOptions};
+use pods_baseline::{run_sequential, SequentialRun};
+use pods_istructure::{ArrayId, Value};
+use pods_machine::{ArraySnapshot, TimingModel};
+use std::time::Instant;
+
+/// Executes the program with the control-driven sequential interpreter
+/// ([`pods_baseline::run_sequential`]) — no SPs, no I-structure run-time,
+/// just program order with the iPSC/2 cost model. The differential tests use
+/// this engine as the oracle the parallel engines must agree with.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialEngine;
+
+/// Converts the interpreter's array states into the uniform snapshot form.
+pub(crate) fn baseline_snapshots(run: &SequentialRun) -> Vec<ArraySnapshot> {
+    run.arrays
+        .iter()
+        .enumerate()
+        .map(|(i, a)| ArraySnapshot {
+            id: ArrayId(i),
+            name: a.name.clone(),
+            shape: a.shape.clone(),
+            values: a.values.clone(),
+        })
+        .collect()
+}
+
+impl Engine for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "seq"
+    }
+
+    fn description(&self) -> &'static str {
+        "control-driven sequential interpreter (modelled time, correctness oracle)"
+    }
+
+    fn run(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+        _opts: &RunOptions,
+    ) -> Result<EngineOutcome, PodsError> {
+        check_invocation(program, args)?;
+        let start = Instant::now();
+        let run = run_sequential(program.hir(), args, &TimingModel::default())?;
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        Ok(EngineOutcome {
+            engine: self.name(),
+            return_value: run.return_value,
+            arrays: baseline_snapshots(&run),
+            modelled_us: Some(run.elapsed_us),
+            wall_us,
+            stats: EngineStats::Sequential {
+                nests: run.nests.len(),
+                serial_us: run.serial_us,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+
+    #[test]
+    fn sequential_outcome_exposes_arrays_and_profile() {
+        let program =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * 2; } return a; }")
+                .unwrap();
+        let outcome = SequentialEngine
+            .run(&program, &[Value::Int(6)], &RunOptions::default())
+            .unwrap();
+        assert_eq!(
+            outcome.returned_array().unwrap().get(&[5]),
+            Some(Value::Int(10))
+        );
+        assert!(outcome.modelled_us.unwrap() > 0.0);
+        assert!(matches!(
+            outcome.stats,
+            EngineStats::Sequential { nests: 1, .. }
+        ));
+        assert!(outcome.partition().is_none());
+    }
+
+    #[test]
+    fn runtime_errors_surface_as_baseline_errors() {
+        let program = compile("def main(n) { a = array(n); return a[0]; }").unwrap();
+        let err = SequentialEngine
+            .run(&program, &[Value::Int(3)], &RunOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, PodsError::Baseline(_)), "{err}");
+    }
+}

@@ -1,11 +1,12 @@
 //! The unified error type of the top-level PODS library.
 
+use pods_baseline::BaselineError;
 use pods_idlang::CompileError;
 use pods_machine::SimulationError;
 use pods_sp::TranslateError;
 
 /// Any error the PODS pipeline can produce, from parsing the declarative
-/// source all the way to simulating it.
+/// source all the way to executing it on any engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PodsError {
     /// The source program failed to compile (lexing, parsing, or semantic
@@ -13,8 +14,17 @@ pub enum PodsError {
     Compile(CompileError),
     /// The HIR could not be translated into Subcompact Processes.
     Translate(TranslateError),
-    /// The simulation failed (deadlock, run-time error, event limit).
+    /// Execution failed (deadlock, run-time error, event/task limit) — on
+    /// the machine simulator or the native thread-pool engine, which share
+    /// the error vocabulary.
     Simulation(SimulationError),
+    /// The sequential interpreter (or the cost model driven by it) failed.
+    Baseline(BaselineError),
+    /// No engine is registered under the requested name.
+    UnknownEngine {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// The program has no `main` entry function.
     MissingEntry,
     /// The number of `main` arguments does not match the declaration.
@@ -32,6 +42,14 @@ impl std::fmt::Display for PodsError {
             PodsError::Compile(e) => write!(f, "{e}"),
             PodsError::Translate(e) => write!(f, "{e}"),
             PodsError::Simulation(e) => write!(f, "{e}"),
+            PodsError::Baseline(e) => write!(f, "{e}"),
+            PodsError::UnknownEngine { name } => {
+                write!(
+                    f,
+                    "unknown engine `{name}` (expected one of: {})",
+                    crate::engine::ENGINE_NAMES.join(", ")
+                )
+            }
             PodsError::MissingEntry => write!(f, "program has no `main` function"),
             PodsError::ArgumentMismatch { expected, got } => write!(
                 f,
@@ -61,6 +79,12 @@ impl From<SimulationError> for PodsError {
     }
 }
 
+impl From<BaselineError> for PodsError {
+    fn from(value: BaselineError) -> Self {
+        PodsError::Baseline(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +98,10 @@ mod tests {
                 got: 1,
             },
             PodsError::Simulation(SimulationError::Runtime("boom".into())),
+            PodsError::Baseline(BaselineError("boom".into())),
+            PodsError::UnknownEngine {
+                name: "warp".into(),
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

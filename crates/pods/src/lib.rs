@@ -37,18 +37,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod error;
 mod pipeline;
 pub mod report;
 
+pub use engine::{
+    engine_by_name, Engine, EngineOutcome, EngineStats, NativeParallelEngine, NativeStats,
+    PrEstimateEngine, SequentialEngine, SimEngine, ENGINE_NAMES,
+};
 pub use error::PodsError;
 pub use pipeline::{
-    compile, compile_and_run, speedup_sweep, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
+    compile, compile_and_run, compile_and_run_on, speedup_sweep, speedup_sweep_on,
+    speedup_sweep_with, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
 };
 
 // Re-export the pieces a downstream user needs to drive runs and interpret
 // results without depending on every sub-crate explicitly.
-pub use pods_istructure::{ArrayId, ArrayShape, Value};
+pub use pods_baseline::{BaselineError, PrModel, PrPoint, SequentialRun};
+pub use pods_istructure::{ArrayId, ArrayShape, SharedArrayStore, Value};
 pub use pods_machine::{
     ArraySnapshot, MachineConfig, SimulationError, SimulationResult, SimulationStats, TimingModel,
     Unit,

@@ -1,11 +1,17 @@
 //! The end-to-end PODS pipeline: source → HIR → dataflow graphs → SPs →
-//! partitioned SPs → simulation (paper Figure 3).
+//! partitioned SPs → execution (paper Figure 3).
+//!
+//! Execution goes through the [`crate::engine`] layer: the historical
+//! simulator entry points ([`CompiledProgram::run`], [`compile_and_run`],
+//! [`speedup_sweep`]) are thin wrappers over [`SimEngine`], and the
+//! `*_on` variants select any registered engine by name.
 
+use crate::engine::{engine_by_name, Engine, EngineOutcome, EngineStats, SimEngine};
 use crate::error::PodsError;
 use pods_dataflow::{analyze_loops, build_program, DataflowProgram, LoopInfo};
 use pods_idlang::HirProgram;
 use pods_istructure::Value;
-use pods_machine::{simulate, MachineConfig, SimulationResult};
+use pods_machine::{MachineConfig, SimulationResult};
 use pods_partition::{partition, PartitionConfig, PartitionReport};
 use pods_sp::{translate, SpProgram};
 
@@ -102,7 +108,8 @@ impl CompiledProgram {
         (program, report)
     }
 
-    /// Runs the program on the simulated machine.
+    /// Runs the program on the simulated machine (the [`SimEngine`] path,
+    /// kept as the historical simulator-shaped API).
     ///
     /// # Errors
     ///
@@ -110,21 +117,44 @@ impl CompiledProgram {
     /// for malformed invocations and [`PodsError::Simulation`] for run-time
     /// failures.
     pub fn run(&self, args: &[Value], options: &RunOptions) -> Result<RunOutcome, PodsError> {
-        let Some(entry) = self.hir.entry() else {
-            return Err(PodsError::MissingEntry);
+        let outcome = SimEngine.run(self, args, options)?;
+        let EngineOutcome {
+            return_value,
+            arrays,
+            stats: EngineStats::Simulated { stats, partition },
+            ..
+        } = outcome
+        else {
+            unreachable!("SimEngine always produces Simulated stats");
         };
-        if entry.params.len() != args.len() {
-            return Err(PodsError::ArgumentMismatch {
-                expected: entry.params.len(),
-                got: args.len(),
-            });
-        }
-        let (program, report) = self.partitioned(options);
-        let result = simulate(&program, args, &options.machine_config())?;
         Ok(RunOutcome {
-            result,
-            partition: report,
+            result: SimulationResult {
+                return_value,
+                arrays,
+                stats,
+            },
+            partition,
         })
+    }
+
+    /// Runs the program on the engine registered under `engine` (`"sim"`,
+    /// `"seq"`, `"pr"`, `"native"`), returning the uniform
+    /// [`EngineOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodsError::UnknownEngine`] for unregistered names, plus
+    /// whatever the engine itself reports.
+    pub fn run_on(
+        &self,
+        engine: &str,
+        args: &[Value],
+        options: &RunOptions,
+    ) -> Result<EngineOutcome, PodsError> {
+        let engine = engine_by_name(engine).ok_or_else(|| PodsError::UnknownEngine {
+            name: engine.to_string(),
+        })?;
+        engine.run(self, args, options)
     }
 }
 
@@ -169,7 +199,8 @@ pub fn compile(source: &str) -> Result<CompiledProgram, PodsError> {
     })
 }
 
-/// Convenience wrapper: compile and run in one call.
+/// Convenience wrapper: compile and run on the machine simulator in one
+/// call.
 ///
 /// # Errors
 ///
@@ -180,6 +211,21 @@ pub fn compile_and_run(
     options: &RunOptions,
 ) -> Result<RunOutcome, PodsError> {
     compile(source)?.run(args, options)
+}
+
+/// Convenience wrapper: compile and run on a named engine in one call.
+///
+/// # Errors
+///
+/// Returns a [`PodsError`] from whichever stage fails, including
+/// [`PodsError::UnknownEngine`] for unregistered engine names.
+pub fn compile_and_run_on(
+    engine: &str,
+    source: &str,
+    args: &[Value],
+    options: &RunOptions,
+) -> Result<EngineOutcome, PodsError> {
+    compile(source)?.run_on(engine, args, options)
 }
 
 /// A measured point of a speed-up curve.
@@ -195,14 +241,55 @@ pub struct SpeedupPoint {
     pub eu_utilization: f64,
 }
 
-/// Runs the program once per PE count and reports elapsed time, speed-up
-/// relative to the first (usually single-PE) configuration, and EU
-/// utilization — the measurements behind Figures 9 and 10 of the paper.
+/// Runs the program once per PE count on the machine simulator and reports
+/// elapsed simulated time, speed-up relative to the first (usually
+/// single-PE) configuration, and EU utilization — the measurements behind
+/// Figures 9 and 10 of the paper.
 ///
 /// # Errors
 ///
 /// Propagates the first failing run.
 pub fn speedup_sweep(
+    program: &CompiledProgram,
+    args: &[Value],
+    pe_counts: &[usize],
+    base_options: &RunOptions,
+) -> Result<Vec<SpeedupPoint>, PodsError> {
+    speedup_sweep_with(&SimEngine, program, args, pe_counts, base_options)
+}
+
+/// [`speedup_sweep`] on the engine registered under `engine`. With
+/// `"native"` the sweep measures real hardware-thread speed-up (wall-clock
+/// per worker count); with `"sim"` / `"pr"` it measures modelled speed-up —
+/// one code path for both curves.
+///
+/// # Errors
+///
+/// Returns [`PodsError::UnknownEngine`] for unregistered names and
+/// propagates the first failing run.
+pub fn speedup_sweep_on(
+    engine: &str,
+    program: &CompiledProgram,
+    args: &[Value],
+    pe_counts: &[usize],
+    base_options: &RunOptions,
+) -> Result<Vec<SpeedupPoint>, PodsError> {
+    let engine = engine_by_name(engine).ok_or_else(|| PodsError::UnknownEngine {
+        name: engine.to_string(),
+    })?;
+    speedup_sweep_with(engine.as_ref(), program, args, pe_counts, base_options)
+}
+
+/// [`speedup_sweep`] generalised over any [`Engine`]. Each point compares
+/// the engine's preferred clock ([`EngineOutcome::elapsed_us`]: modelled
+/// time where the engine models one, wall-clock otherwise) against the
+/// sweep's first configuration.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+pub fn speedup_sweep_with(
+    engine: &dyn Engine,
     program: &CompiledProgram,
     args: &[Value],
     pe_counts: &[usize],
@@ -215,14 +302,14 @@ pub fn speedup_sweep(
             num_pes: pes,
             ..base_options.clone()
         };
-        let outcome = program.run(args, &options)?;
+        let outcome = engine.run(program, args, &options)?;
         let elapsed = outcome.elapsed_us();
         let base = *base_time.get_or_insert(elapsed);
         points.push(SpeedupPoint {
             pes,
             elapsed_us: elapsed,
             speedup: if elapsed > 0.0 { base / elapsed } else { 0.0 },
-            eu_utilization: outcome.result.stats.utilization(pods_machine::Unit::Execution),
+            eu_utilization: outcome.eu_utilization().unwrap_or(0.0),
         });
     }
     Ok(points)
@@ -271,7 +358,10 @@ mod tests {
         let program = compile(MATRIX_FILL).unwrap();
         assert!(matches!(
             program.run(&[], &RunOptions::default()),
-            Err(PodsError::ArgumentMismatch { expected: 1, got: 0 })
+            Err(PodsError::ArgumentMismatch {
+                expected: 1,
+                got: 0
+            })
         ));
         let no_main = compile("def helper(x) { return x; }").unwrap();
         assert!(matches!(

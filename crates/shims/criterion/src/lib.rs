@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate provides the small subset of the Criterion API the workspace's
+//! benches use — `Criterion`, `Bencher`, `BenchmarkGroup`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple wall-clock measurement loop instead of Criterion's statistical
+//! machinery. Timings are printed in Criterion's familiar one-line format so
+//! existing tooling that greps bench output keeps working.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target measurement time per benchmark. Kept short: this shim exists to
+/// produce indicative numbers offline, not publication-grade statistics.
+const TARGET: Duration = Duration::from_millis(300);
+/// Upper bound on timed iterations per benchmark.
+const MAX_ITERS: u64 = 1000;
+
+/// The measurement context handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean wall-clock time per iteration of the last `iter` call, in
+    /// nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times the closure: one warm-up call, then as many timed iterations as
+    /// fit in the target measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed();
+        let iters = if once.is_zero() {
+            MAX_ITERS
+        } else {
+            (TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(id: &str, mean_ns: f64) {
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "µs")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("{id:<40} time: [{value:.3} {unit}]");
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named after a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one parameterised benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.mean_ns);
+        self
+    }
+
+    /// Runs one unparameterised benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.mean_ns);
+        self
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, b.mean_ns);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("fill", 8).id, "fill/8");
+        assert_eq!(BenchmarkId::from_parameter("cache_on").id, "cache_on");
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion;
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| b.iter(|| x + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate provides the small subset of the proptest API the workspace's
+//! property tests use: the `proptest!` macro over functions whose arguments
+//! are drawn from range / vector / string strategies, plus `prop_assert!`
+//! and `prop_assert_eq!`. Instead of proptest's shrinking test runner, each
+//! property is checked against a fixed number of cases drawn from a
+//! deterministic per-test RNG (seeded from the test name), so failures are
+//! reproducible across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The deterministic test runner: RNG and case-count configuration.
+pub mod test_runner {
+    /// Number of random cases generated per property.
+    pub const NUM_CASES: usize = 48;
+
+    /// A small deterministic xorshift64* RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from a test name (stable across runs).
+        pub fn from_name(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values for one property argument.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            })*
+        };
+    }
+    int_range_strategy!(usize, u64, u32, i64, i32);
+
+    /// String literals act as regex strategies in proptest; the shim ignores
+    /// the pattern and produces arbitrary short strings over a mixed
+    /// alphabet, which is what the workspace's "never panics on arbitrary
+    /// input" property needs.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            const ALPHABET: &[char] = &[
+                'a', 'z', 'A', 'Z', '0', '9', ' ', '\n', '\t', '(', ')', '{', '}', '[', ']', '+',
+                '-', '*', '/', '=', ';', ',', '.', '"', '\'', '#', '$', '%', '&', '!', '?', '<',
+                '>', '|', '^', '~', '\\', '_', ':', '@', 'é', 'λ', '∀', '中', '🦀',
+            ];
+            let len = rng.below(40) as usize;
+            (0..len)
+                .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Strategy for vectors of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property (plain `assert!` in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each function's arguments are drawn from the
+/// given strategies for a fixed number of deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..$crate::test_runner::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..6).generate(&mut rng);
+            assert!((-5..6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(1usize..12, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..12).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_name("x");
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_name("x");
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_generates_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

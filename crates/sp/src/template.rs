@@ -159,13 +159,13 @@ impl SpTemplate {
                 }
             }
             match instr {
-                Instr::Jump { target } | Instr::BranchIfFalse { target, .. } => {
-                    if *target > self.code.len() {
-                        problems.push(format!(
-                            "{}@{pc}: jump target {target} out of range",
-                            self.name
-                        ));
-                    }
+                Instr::Jump { target } | Instr::BranchIfFalse { target, .. }
+                    if *target > self.code.len() =>
+                {
+                    problems.push(format!(
+                        "{}@{pc}: jump target {target} out of range",
+                        self.name
+                    ));
                 }
                 _ => {}
             }

@@ -73,11 +73,7 @@ pub fn translate(hir: &HirProgram) -> Result<SpProgram, TranslateError> {
     for function in &hir.functions {
         translator.build_function(function)?;
     }
-    let entry = translator
-        .functions
-        .get("main")
-        .copied()
-        .unwrap_or(SpId(0));
+    let entry = translator.functions.get("main").copied().unwrap_or(SpId(0));
     Ok(SpProgram::new(
         translator.templates,
         translator.functions,
@@ -178,7 +174,11 @@ impl Translator {
         });
         let test_pc = builder.code.len();
         builder.code.push(Instr::Binary {
-            op: if descending { BinaryOp::Ge } else { BinaryOp::Le },
+            op: if descending {
+                BinaryOp::Ge
+            } else {
+                BinaryOp::Le
+            },
             dst: cont_slot,
             lhs: Operand::Slot(index_slot),
             rhs: Operand::Slot(limit_slot),

@@ -312,7 +312,11 @@ mod tests {
         assert_eq!(conduction.len(), 8);
         // Every outer (row) level is parallel and distributable.
         for outer in conduction.iter().filter(|l| l.depth == 0) {
-            assert!(!outer.has_lcd, "row level of {} should be parallel", outer.key);
+            assert!(
+                !outer.has_lcd,
+                "row level of {} should be parallel",
+                outer.key
+            );
             assert!(outer.is_distributable());
         }
         // The in-row sweep recurrences (ascending and descending) are

@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- dataflow graph ---");
     println!("{:?}", graph.stats());
     for block in graph.blocks() {
-        println!("  block {:?}: {} nodes ({})", block.id, block.len(), block.name);
+        println!(
+            "  block {:?}: {} nodes ({})",
+            block.id,
+            block.len(),
+            block.name
+        );
     }
 
     let loops = pods_dataflow::analyze_loops(&hir);
@@ -46,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Graphviz output for the curious.
     let dot = pods_dataflow::to_dot(&graph);
-    println!("--- DOT graph ({} bytes, pipe into `dot -Tpng`) ---", dot.len());
+    println!(
+        "--- DOT graph ({} bytes, pipe into `dot -Tpng`) ---",
+        dot.len()
+    );
     Ok(())
 }

@@ -1,12 +1,10 @@
 //! Dense matrix multiply expressed in the declarative language, validated
-//! against the sequential baseline interpreter, and timed on one and eight
-//! simulated PEs.
+//! against the sequential oracle engine, and timed on every execution
+//! engine at one and eight PEs/workers.
 //!
 //! Run with: `cargo run --release --example matmul [n]`
 
 use pods::{RunOptions, Value};
-use pods_baseline::run_sequential;
-use pods_machine::TimingModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: i64 = std::env::args()
@@ -14,29 +12,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
 
-    let source = pods_workloads::MATMUL;
-    let program = pods::compile(source)?;
+    let program = pods::compile(pods_workloads::MATMUL)?;
 
-    // Reference run: the sequential control-driven interpreter.
-    let hir = pods_idlang::compile(source)?;
-    let reference = run_sequential(&hir, &[Value::Int(n)], &TimingModel::default())?;
+    // Reference run: the sequential oracle engine.
+    let reference = program.run_on("seq", &[Value::Int(n)], &RunOptions::default())?;
     let expected = reference.array("c").expect("c").to_f64(f64::NAN);
 
-    for pes in [1usize, 8] {
-        let outcome = program.run(&[Value::Int(n)], &RunOptions::with_pes(pes))?;
-        let c = outcome.result.array("c").expect("c");
-        let got = c.to_f64(f64::NAN);
-        let max_err = expected
-            .iter()
-            .zip(&got)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        println!(
-            "{n}x{n} matmul on {pes} PE(s): simulated {:.3} ms, max |PODS - reference| = {max_err:.3e}",
-            outcome.elapsed_us() / 1000.0
-        );
-        assert!(max_err < 1e-9, "results diverged from the reference");
+    for engine in ["sim", "native"] {
+        for pes in [1usize, 8] {
+            let outcome = program.run_on(engine, &[Value::Int(n)], &RunOptions::with_pes(pes))?;
+            let c = outcome.array("c").expect("c");
+            let got = c.to_f64(f64::NAN);
+            let max_err = expected
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            let time = match outcome.modelled_us {
+                Some(us) => format!("simulated {:.3} ms", us / 1000.0),
+                None => format!("wall-clock {:.3} ms", outcome.wall_us / 1000.0),
+            };
+            println!(
+                "{n}x{n} matmul, engine {engine} on {pes} PE(s): {time}, max |err| = {max_err:.3e}"
+            );
+            assert!(max_err < 1e-9, "results diverged from the reference");
+        }
     }
-    println!("sequential baseline model: {:.3} ms", reference.elapsed_us / 1000.0);
+    println!(
+        "sequential baseline model: {:.3} ms",
+        reference.modelled_us.unwrap_or_default() / 1000.0
+    );
     Ok(())
 }

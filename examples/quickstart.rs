@@ -48,5 +48,16 @@ fn main() -> Result<(), pods::PodsError> {
     for loop_report in &outcome.partition.loops {
         println!("  loop {}: {:?}", loop_report.key, loop_report.decision);
     }
+
+    // The same compiled program runs unchanged on real threads: the native
+    // engine executes the partitioned SPs on a work-stealing pool.
+    let native = program.run_on("native", &[Value::Int(16)], &RunOptions::with_pes(4))?;
+    let native_array = native.returned_array().expect("array result");
+    println!(
+        "native engine (4 workers): {} of {} elements written in {:.3} ms wall-clock",
+        native_array.written(),
+        native_array.values.len(),
+        native.wall_us / 1000.0
+    );
     Ok(())
 }

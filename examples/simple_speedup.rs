@@ -2,7 +2,11 @@
 //! on a sweep of machine sizes and prints the speed-up curve — a scaled-down
 //! interactive version of Figure 10.
 //!
-//! Run with: `cargo run --release --example simple_speedup [mesh] [max_pes]`
+//! The sweep goes through the engine layer, so the same command reports
+//! simulated-PE speed-up (`sim`, the default), modelled static-compilation
+//! speed-up (`pr`), or real hardware-thread speed-up (`native`).
+//!
+//! Run with: `cargo run --release --example simple_speedup [mesh] [max_pes] [engine]`
 
 use pods::{report, RunOptions, Value};
 
@@ -10,6 +14,7 @@ fn main() -> Result<(), pods::PodsError> {
     let args: Vec<String> = std::env::args().collect();
     let mesh: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let max_pes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let engine: &str = args.get(3).map(String::as_str).unwrap_or("sim");
 
     let program = pods::compile(pods_workloads::simple::SIMPLE)?;
     let mut pe_counts = vec![1usize];
@@ -18,13 +23,17 @@ fn main() -> Result<(), pods::PodsError> {
     }
 
     println!("SIMPLE {mesh}x{mesh}: one Lagrangian time step (velocity/position, hydrodynamics, conduction)");
-    let points = pods::speedup_sweep(
+    let points = pods::speedup_sweep_on(
+        engine,
         &program,
         &[Value::Int(mesh as i64)],
         &pe_counts,
         &RunOptions::default(),
     )?;
-    println!("{}", report::speedup_table("speed-up versus PEs", &points));
-    println!("paper reference at 32 PEs: 8.1x (16x16), 12.4x (32x32), 18.9x (64x64)");
+    println!(
+        "{}",
+        report::speedup_table(&format!("speed-up versus PEs (engine: {engine})"), &points)
+    );
+    println!("paper reference at 32 PEs (sim): 8.1x (16x16), 12.4x (32x32), 18.9x (64x64)");
     Ok(())
 }

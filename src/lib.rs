@@ -5,8 +5,8 @@
 //! public API lives in the [`pods`] crate (re-exported here for
 //! convenience); the individual pipeline stages live in the `pods-*` crates.
 //!
-//! See `README.md` for the quickstart and `DESIGN.md` for the architecture
-//! overview and the experiment index.
+//! See `README.md` for the quickstart, the pipeline diagram, the crate map,
+//! and the engine matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

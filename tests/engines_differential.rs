@@ -1,0 +1,218 @@
+//! Differential tests of the execution layer: every `pods_workloads` kernel
+//! runs through every registered engine, and all engines must agree on the
+//! returned value and the contents of every allocated array (the sequential
+//! interpreter acts as the oracle). This is the safety net that lets the
+//! engines evolve independently: a scheduling bug in the native thread pool
+//! or a protocol bug in the simulator shows up as a cross-engine diff.
+
+use pods::{RunOptions, Value, ENGINE_NAMES};
+
+/// The workload matrix: name, source, args, and a small machine-size sweep.
+fn workloads() -> Vec<(&'static str, &'static str, Vec<Value>)> {
+    vec![
+        ("paper_example", pods_workloads::PAPER_EXAMPLE, vec![]),
+        ("fill", pods_workloads::FILL, vec![Value::Int(12)]),
+        ("matmul", pods_workloads::MATMUL, vec![Value::Int(6)]),
+        ("stencil", pods_workloads::STENCIL, vec![Value::Int(12)]),
+        (
+            "recurrence",
+            pods_workloads::RECURRENCE,
+            vec![Value::Int(48)],
+        ),
+        (
+            "simple",
+            pods_workloads::simple::SIMPLE,
+            vec![Value::Int(8)],
+        ),
+    ]
+}
+
+fn values_close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan())
+}
+
+/// Runs one workload through every engine on several machine sizes and
+/// checks full agreement with the sequential oracle.
+fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[usize]) {
+    let program = pods::compile(source).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let oracle = program
+        .run_on("seq", args, &RunOptions::default())
+        .unwrap_or_else(|e| panic!("{name}: oracle run failed: {e}"));
+
+    for engine in ENGINE_NAMES {
+        for &pes in pe_counts {
+            let outcome = program
+                .run_on(engine, args, &RunOptions::with_pes(pes))
+                .unwrap_or_else(|e| panic!("{name}: engine `{engine}` on {pes} PEs failed: {e}"));
+
+            // Return values agree. Array references are compared through
+            // the arrays they denote (allocation *ids* legitimately differ
+            // across engines: the simulator's split-phase allocations can
+            // complete out of program order).
+            match (&oracle.return_value, &outcome.return_value) {
+                (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {
+                    let a = oracle.returned_array().expect("oracle returned array");
+                    let b = outcome.returned_array().expect("engine returned array");
+                    assert_eq!(
+                        a.name, b.name,
+                        "{name}/{engine}/{pes}: returned array identity"
+                    );
+                }
+                (Some(a), Some(b)) => {
+                    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+                        assert!(
+                            values_close(x, y),
+                            "{name}/{engine}/{pes}: return value {y} != oracle {x}"
+                        );
+                    } else {
+                        assert_eq!(a, b, "{name}/{engine}/{pes}: return value mismatch");
+                    }
+                }
+                (a, b) => assert_eq!(a, b, "{name}/{engine}/{pes}: return value presence"),
+            }
+
+            // Every array the oracle allocated exists (matched by source
+            // name) with identical shape and element-wise identical
+            // contents.
+            assert_eq!(
+                oracle.arrays.len(),
+                outcome.arrays.len(),
+                "{name}/{engine}/{pes}: array count"
+            );
+            for expected in &oracle.arrays {
+                let got = outcome.array(&expected.name).unwrap_or_else(|| {
+                    panic!("{name}/{engine}/{pes}: array `{}` missing", expected.name)
+                });
+                assert_eq!(
+                    expected.shape, got.shape,
+                    "{name}/{engine}/{pes}: shape of `{}`",
+                    expected.name
+                );
+                let ev = expected.to_f64(f64::NAN);
+                let gv = got.to_f64(f64::NAN);
+                for (i, (a, b)) in ev.iter().zip(&gv).enumerate() {
+                    assert!(
+                        values_close(*a, *b),
+                        "{name}/{engine}/{pes}: `{}`[{i}] = {b}, oracle {a}",
+                        expected.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_example_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(0);
+    assert_engines_agree(name, src, &args, &[1, 2, 4]);
+}
+
+#[test]
+fn fill_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(1);
+    assert_engines_agree(name, src, &args, &[1, 2, 4]);
+}
+
+#[test]
+fn matmul_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(2);
+    assert_engines_agree(name, src, &args, &[1, 4]);
+}
+
+#[test]
+fn stencil_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(3);
+    assert_engines_agree(name, src, &args, &[1, 4]);
+}
+
+#[test]
+fn recurrence_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(4);
+    assert_engines_agree(name, src, &args, &[1, 4]);
+}
+
+#[test]
+fn simple_agrees_across_all_engines() {
+    let (name, src, args) = workloads().remove(5);
+    assert_engines_agree(name, src, &args, &[1, 2, 4]);
+}
+
+#[test]
+fn unknown_engine_names_are_rejected() {
+    let program = pods::compile("def main() { return 1; }").unwrap();
+    let err = program
+        .run_on("warp-drive", &[], &RunOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, pods::PodsError::UnknownEngine { .. }));
+    assert!(err.to_string().contains("native"));
+}
+
+#[test]
+fn sim_and_native_agree_on_partitioning_decisions() {
+    // Both parallel engines run the same partitioned program; their reports
+    // must be identical for identical options.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let opts = RunOptions::with_pes(4);
+    let sim = program.run_on("sim", &[Value::Int(8)], &opts).unwrap();
+    let native = program.run_on("native", &[Value::Int(8)], &opts).unwrap();
+    assert_eq!(
+        sim.partition().unwrap().loops,
+        native.partition().unwrap().loops
+    );
+}
+
+#[test]
+fn native_engine_speeds_up_on_multicore_hosts() {
+    // The wall-clock speed-up claim only makes sense with enough real,
+    // unloaded cores. On a single-core host the test degenerates to a smoke
+    // check that multi-worker runs stay correct; on small shared runners
+    // (2-3 vCPUs, where scheduler noise can eat the margin) the speed-up is
+    // reported but only softly checked; the >1.5x assertion applies from 4
+    // cores up. Set PODS_SKIP_SPEEDUP_ASSERT=1 to demote the assertion to a
+    // report on co-tenanted machines where even 4 visible cores are noisy.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let args = [Value::Int(96)];
+
+    // Best of several runs: one clean sample is enough to demonstrate the
+    // available parallelism, and the minimum is robust to scheduler noise.
+    let best = |workers: usize| -> f64 {
+        (0..5)
+            .map(|_| {
+                program
+                    .run_on("native", &args, &RunOptions::with_pes(workers))
+                    .unwrap()
+                    .wall_us
+            })
+            .fold(f64::MAX, f64::min)
+    };
+
+    let one = best(1);
+    let workers = cores.clamp(2, 4);
+    let multi = best(workers);
+    let speedup = one / multi;
+    eprintln!(
+        "native wall-clock on {cores}-core host: 1 worker {one:.0} us, \
+         {workers} workers {multi:.0} us ({speedup:.2}x)"
+    );
+    if cores < 2 || std::env::var("PODS_SKIP_SPEEDUP_ASSERT").is_ok() {
+        return;
+    }
+    if cores < 4 {
+        // Soft check: multi-worker must at least not collapse.
+        assert!(
+            speedup > 0.5,
+            "multi-worker run collapsed on a {cores}-core host: {speedup:.2}x"
+        );
+        return;
+    }
+    assert!(
+        speedup > 1.5,
+        "expected >1.5x wall-clock speed-up on {workers} workers \
+         ({cores}-core host); got {speedup:.2}x ({one:.0} us vs {multi:.0} us). \
+         On a co-tenanted machine set PODS_SKIP_SPEEDUP_ASSERT=1."
+    );
+}

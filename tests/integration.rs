@@ -11,7 +11,10 @@ use pods_machine::TimingModel;
 fn assert_matches_reference(source: &str, args: &[Value], array: &str, pes: &[usize]) {
     let hir = pods_idlang::compile(source).expect("front end");
     let reference = run_sequential(&hir, args, &TimingModel::default()).expect("reference run");
-    let expected = reference.array(array).expect("reference array").to_f64(f64::NAN);
+    let expected = reference
+        .array(array)
+        .expect("reference array")
+        .to_f64(f64::NAN);
 
     let program = pods::compile(source).expect("pipeline compile");
     for &p in pes {
@@ -41,12 +44,22 @@ fn paper_example_matches_reference_on_all_machine_sizes() {
 #[test]
 fn fill_and_stencil_match_reference() {
     assert_matches_reference(pods_workloads::FILL, &[Value::Int(16)], "a", &[1, 4]);
-    assert_matches_reference(pods_workloads::STENCIL, &[Value::Int(16)], "next", &[1, 4, 8]);
+    assert_matches_reference(
+        pods_workloads::STENCIL,
+        &[Value::Int(16)],
+        "next",
+        &[1, 4, 8],
+    );
 }
 
 #[test]
 fn recurrence_matches_reference_even_though_it_cannot_distribute() {
-    assert_matches_reference(pods_workloads::RECURRENCE, &[Value::Int(64)], "acc", &[1, 4]);
+    assert_matches_reference(
+        pods_workloads::RECURRENCE,
+        &[Value::Int(64)],
+        "acc",
+        &[1, 4],
+    );
 }
 
 #[test]
@@ -70,13 +83,8 @@ fn simple_benchmark_matches_reference_across_machine_sizes() {
 #[test]
 fn simple_speedup_appears_on_larger_meshes() {
     let program = pods::compile(pods_workloads::simple::SIMPLE).unwrap();
-    let points = pods::speedup_sweep(
-        &program,
-        &[Value::Int(16)],
-        &[1, 8],
-        &RunOptions::default(),
-    )
-    .unwrap();
+    let points =
+        pods::speedup_sweep(&program, &[Value::Int(16)], &[1, 8], &RunOptions::default()).unwrap();
     assert!(
         points[1].speedup > 1.2,
         "8 PEs should beat 1 PE on a 16x16 mesh, got {:.2}x",
@@ -161,7 +169,10 @@ fn pingali_rogers_model_trails_pods_at_scale_on_simple() {
     // just require both to be sane and the PR model to saturate.
     let pr2 = pr.estimate(&seq, 2);
     assert!(pr2.speedup > 1.0);
-    assert!(pr32.speedup / 32.0 < pr2.speedup / 2.0, "PR efficiency must fall");
+    assert!(
+        pr32.speedup / 32.0 < pr2.speedup / 2.0,
+        "PR efficiency must fall"
+    );
 }
 
 #[test]
@@ -184,6 +195,8 @@ fn ablation_disabling_the_page_cache_increases_remote_traffic() {
 fn run_options_and_reports_are_exposed_through_the_facade() {
     // Exercise the umbrella crate re-exports.
     let program = pods_repro::compile("def main() { return 1 + 1; }").unwrap();
-    let outcome = program.run(&[], &pods_repro::RunOptions::default()).unwrap();
+    let outcome = program
+        .run(&[], &pods_repro::RunOptions::default())
+        .unwrap();
     assert_eq!(outcome.result.return_value, Some(pods_repro::Value::Int(2)));
 }
