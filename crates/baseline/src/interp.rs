@@ -27,11 +27,39 @@ use std::collections::HashMap;
 
 /// Errors produced by the sequential interpreter.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BaselineError(pub String);
+pub enum BaselineError {
+    /// A run-time failure of the interpreted program (missing `main`,
+    /// reads of never-written elements, out-of-bounds accesses,
+    /// single-assignment violations, …).
+    Runtime(String),
+    /// The statement budget of [`run_sequential_bounded`] was exhausted
+    /// (carries the configured limit).
+    StepLimit(u64),
+}
+
+impl BaselineError {
+    /// The error raised when [`run_sequential_bounded`]'s statement budget
+    /// is exhausted.
+    pub fn step_limit(limit: u64) -> BaselineError {
+        BaselineError::StepLimit(limit)
+    }
+
+    /// Whether this error is the statement-budget exhaustion of
+    /// [`run_sequential_bounded`] (so callers can map it onto their own
+    /// event-limit vocabulary).
+    pub fn is_step_limit(&self) -> bool {
+        matches!(self, BaselineError::StepLimit(_))
+    }
+}
 
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "baseline error: {}", self.0)
+        match self {
+            BaselineError::Runtime(msg) => write!(f, "baseline error: {msg}"),
+            BaselineError::StepLimit(limit) => {
+                write!(f, "baseline error: statement limit exceeded: {limit}")
+            }
+        }
     }
 }
 
@@ -115,6 +143,24 @@ pub fn run_sequential(
     args: &[Value],
     timing: &TimingModel,
 ) -> Result<SequentialRun, BaselineError> {
+    run_sequential_bounded(hir, args, timing, 0)
+}
+
+/// [`run_sequential`] with a safety budget: the run aborts with
+/// [`BaselineError::step_limit`] after `max_steps` interpreted statements
+/// (0 = unlimited). This is the sequential analogue of the simulator's
+/// event limit and the native engine's task limit, so runaway programs are
+/// caught on every engine.
+///
+/// # Errors
+///
+/// Everything [`run_sequential`] reports, plus the step-limit error.
+pub fn run_sequential_bounded(
+    hir: &HirProgram,
+    args: &[Value],
+    timing: &TimingModel,
+    max_steps: u64,
+) -> Result<SequentialRun, BaselineError> {
     let loops = analyze_loops(hir);
     let mut interp = Interp {
         hir,
@@ -126,12 +172,14 @@ pub fn run_sequential(
         nest_stack: Vec::new(),
         serial_us: 0.0,
         depth: 0,
+        steps: 0,
+        max_steps,
     };
     let entry = hir
         .entry()
-        .ok_or_else(|| BaselineError("program has no `main` function".into()))?;
+        .ok_or_else(|| BaselineError::Runtime("program has no `main` function".into()))?;
     if entry.params.len() != args.len() {
-        return Err(BaselineError(format!(
+        return Err(BaselineError::Runtime(format!(
             "`main` takes {} argument(s), {} supplied",
             entry.params.len(),
             args.len()
@@ -180,6 +228,10 @@ struct Interp<'a> {
     nest_stack: Vec<(String, usize, f64)>,
     serial_us: f64,
     depth: usize,
+    /// Statements interpreted so far (the unit the step budget counts).
+    steps: u64,
+    /// 0 = unlimited; otherwise abort once `steps` exceeds this budget.
+    max_steps: u64,
 }
 
 enum Flow {
@@ -203,7 +255,7 @@ impl<'a> Interp<'a> {
         args: Vec<Value>,
     ) -> Result<Option<Value>, BaselineError> {
         if self.depth > 256 {
-            return Err(BaselineError("call depth exceeded".into()));
+            return Err(BaselineError::Runtime("call depth exceeded".into()));
         }
         self.depth += 1;
         // Call overhead: argument moves plus the call/return pair.
@@ -225,7 +277,7 @@ impl<'a> Interp<'a> {
     fn function(&self, name: &str) -> Result<&'a HirFunction, BaselineError> {
         self.hir
             .function(name)
-            .ok_or_else(|| BaselineError(format!("unknown function `{name}`")))
+            .ok_or_else(|| BaselineError::Runtime(format!("unknown function `{name}`")))
     }
 
     fn exec_block(
@@ -251,6 +303,10 @@ impl<'a> Interp<'a> {
         env: &mut HashMap<String, Value>,
         ordinals: &mut OrdinalTracker,
     ) -> Result<Flow, BaselineError> {
+        self.steps += 1;
+        if self.max_steps > 0 && self.steps > self.max_steps {
+            return Err(BaselineError::step_limit(self.max_steps));
+        }
         match stmt {
             HirStmt::Let { name, value } => {
                 let v = self.eval(function, value, env)?;
@@ -262,10 +318,9 @@ impl<'a> Interp<'a> {
                 let mut extents = Vec::new();
                 for d in dims {
                     let v = self.eval(function, d, env)?;
-                    let n = v
-                        .as_i64()
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| BaselineError(format!("bad dimension for `{name}`")))?;
+                    let n = v.as_i64().filter(|&n| n > 0).ok_or_else(|| {
+                        BaselineError::Runtime(format!("bad dimension for `{name}`"))
+                    })?;
                     extents.push(n as usize);
                 }
                 let shape = ArrayShape::new(extents);
@@ -294,7 +349,7 @@ impl<'a> Interp<'a> {
                 }
                 let cell = &mut self.arrays[id.index()].values[offset];
                 if cell.is_some() {
-                    return Err(BaselineError(format!(
+                    return Err(BaselineError::Runtime(format!(
                         "single-assignment violation on `{array}`"
                     )));
                 }
@@ -341,11 +396,11 @@ impl<'a> Interp<'a> {
                 let from_v = self
                     .eval(function, from, env)?
                     .as_i64()
-                    .ok_or_else(|| BaselineError("non-integer loop bound".into()))?;
+                    .ok_or_else(|| BaselineError::Runtime("non-integer loop bound".into()))?;
                 let to_v = self
                     .eval(function, to, env)?
                     .as_i64()
-                    .ok_or_else(|| BaselineError("non-integer loop bound".into()))?;
+                    .ok_or_else(|| BaselineError::Runtime("non-integer loop bound".into()))?;
                 let mut i = from_v;
                 loop {
                     let done = if *descending { i < to_v } else { i > to_v };
@@ -385,7 +440,7 @@ impl<'a> Interp<'a> {
                 let c = self
                     .eval(function, cond, env)?
                     .as_bool()
-                    .ok_or_else(|| BaselineError("non-boolean condition".into()))?;
+                    .ok_or_else(|| BaselineError::Runtime("non-boolean condition".into()))?;
                 self.charge(self.timing.int_alu);
                 // Preorder loop numbering: the then-branch loops come first,
                 // then the else-branch loops, regardless of which branch is
@@ -438,7 +493,7 @@ impl<'a> Interp<'a> {
     fn array_id(&self, name: &str, env: &HashMap<String, Value>) -> Result<ArrayId, BaselineError> {
         match env.get(name) {
             Some(Value::ArrayRef(id)) => Ok(*id),
-            _ => Err(BaselineError(format!("`{name}` is not an array"))),
+            _ => Err(BaselineError::Runtime(format!("`{name}` is not an array"))),
         }
     }
 
@@ -461,7 +516,7 @@ impl<'a> Interp<'a> {
             .shape
             .offset_of(&idx)
             .ok_or_else(|| {
-                BaselineError(format!(
+                BaselineError::Runtime(format!(
                     "index {idx:?} out of bounds for `{array}` ({})",
                     self.arrays[id.index()].shape
                 ))
@@ -480,7 +535,7 @@ impl<'a> Interp<'a> {
             HirExpr::Bool(v) => Value::Bool(*v),
             HirExpr::Var(name) => *env
                 .get(name)
-                .ok_or_else(|| BaselineError(format!("unknown variable `{name}`")))?,
+                .ok_or_else(|| BaselineError::Runtime(format!("unknown variable `{name}`")))?,
             HirExpr::Load { array, indices } => {
                 let offset = self.element_offset(function, array, indices, env)?;
                 let id = self.array_id(array, env)?;
@@ -489,7 +544,7 @@ impl<'a> Interp<'a> {
                     nest.element_reads += 1;
                 }
                 self.arrays[id.index()].values[offset].ok_or_else(|| {
-                    BaselineError(format!(
+                    BaselineError::Runtime(format!(
                         "element {offset} of `{array}` read before being written"
                     ))
                 })?
@@ -500,13 +555,13 @@ impl<'a> Interp<'a> {
                     self.timing
                         .unary_op(*op, v.is_float() || float_producing(*op)),
                 );
-                eval_unary(*op, v).map_err(|e| BaselineError(e.to_string()))?
+                eval_unary(*op, v).map_err(|e| BaselineError::Runtime(e.to_string()))?
             }
             HirExpr::Binary { op, lhs, rhs } => {
                 let a = self.eval(function, lhs, env)?;
                 let b = self.eval(function, rhs, env)?;
                 self.charge(self.timing.binary_op(*op, a.is_float() || b.is_float()));
-                eval_binary(*op, a, b).map_err(|e| BaselineError(e.to_string()))?
+                eval_binary(*op, a, b).map_err(|e| BaselineError::Runtime(e.to_string()))?
             }
             HirExpr::Call {
                 function: callee,
@@ -517,8 +572,9 @@ impl<'a> Interp<'a> {
                     arg_values.push(self.eval(function, a, env)?);
                 }
                 let f = self.function(callee)?;
-                self.call(f, arg_values)?
-                    .ok_or_else(|| BaselineError(format!("`{callee}` returned no value")))?
+                self.call(f, arg_values)?.ok_or_else(|| {
+                    BaselineError::Runtime(format!("`{callee}` returned no value"))
+                })?
             }
             HirExpr::Select {
                 cond,
@@ -528,7 +584,7 @@ impl<'a> Interp<'a> {
                 let c = self
                     .eval(function, cond, env)?
                     .as_bool()
-                    .ok_or_else(|| BaselineError("non-boolean condition".into()))?;
+                    .ok_or_else(|| BaselineError::Runtime("non-boolean condition".into()))?;
                 self.charge(self.timing.int_alu);
                 if c {
                     self.eval(function, then_value, env)?
@@ -672,6 +728,25 @@ mod tests {
 
         let hir = compile("def main(n) { return n; }").unwrap();
         assert!(run_sequential(&hir, &[], &TimingModel::default()).is_err());
+    }
+
+    #[test]
+    fn step_budget_aborts_runaway_runs() {
+        let hir =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }")
+                .unwrap();
+        let err = run_sequential_bounded(&hir, &[Value::Int(100)], &TimingModel::default(), 5)
+            .unwrap_err();
+        assert!(err.is_step_limit(), "{err}");
+        assert_eq!(err, BaselineError::step_limit(5));
+        // An unrelated error is not mistaken for the budget.
+        let hir = compile("def main(n) { a = array(n); return a[0]; }").unwrap();
+        let other = run_sequential_bounded(&hir, &[Value::Int(3)], &TimingModel::default(), 1000)
+            .unwrap_err();
+        assert!(!other.is_step_limit());
+        // Budget 0 means unlimited.
+        let hir = compile("def main(n) { return n; }").unwrap();
+        assert!(run_sequential_bounded(&hir, &[Value::Int(1)], &TimingModel::default(), 0).is_ok());
     }
 
     #[test]

@@ -31,5 +31,8 @@
 mod interp;
 mod pr;
 
-pub use interp::{run_sequential, BaselineArray, BaselineError, NestProfile, SequentialRun};
+pub use interp::{
+    run_sequential, run_sequential_bounded, BaselineArray, BaselineError, NestProfile,
+    SequentialRun,
+};
 pub use pr::{PrModel, PrPoint};

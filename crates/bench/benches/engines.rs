@@ -1,6 +1,9 @@
 //! Engine comparison: SimEngine vs NativeParallelEngine wall-clock on the
 //! FILL and SIMPLE workloads at 1/2/4/8 workers, through the shared
-//! `Engine` trait.
+//! `Engine` trait — plus the `runtime_reuse` group, which measures the
+//! amortisation win of a persistent `pods::Runtime` (one warm worker pool
+//! across N back-to-back runs) over N cold `run_on` calls (a fresh pool
+//! spawned and joined per run).
 //!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! snapshot to `BENCH_engines.json` at the repository root (override with
@@ -13,7 +16,7 @@
 //! with N up to the host's core count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pods::{RunOptions, Value};
+use pods::{EngineKind, RunOptions, Runtime, Value};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ENGINES: [&str; 2] = ["sim", "native"];
@@ -59,6 +62,53 @@ fn bench_engines(c: &mut Criterion) {
         }
         group.finish();
     }
+
+    // runtime_reuse: N back-to-back native runs of one workload, warm
+    // (one persistent Runtime, pool reused) vs cold (one run_on call per
+    // run, each spawning and joining its own pool). Reported per run so
+    // the numbers are comparable with the engine points above.
+    const REUSE_RUNS: usize = 8;
+    let reuse_workers = host_parallelism.clamp(2, 4);
+    let (workload, n) = ("fill", 48i64);
+    let program = pods::compile(pods_workloads::FILL).expect("workload compiles");
+    let mut group = c.benchmark_group(format!("runtime_reuse_{workload}_{n}"));
+    for mode in ["warm-runtime", "cold-run_on"] {
+        let mut mean_us = 0.0;
+        group.bench_with_input(
+            BenchmarkId::new(mode, reuse_workers),
+            &reuse_workers,
+            |b, &workers| {
+                match mode {
+                    "warm-runtime" => {
+                        let runtime = Runtime::builder(EngineKind::Native)
+                            .workers(workers)
+                            .build();
+                        b.iter(|| {
+                            for _ in 0..REUSE_RUNS {
+                                runtime.run(&program, &[Value::Int(n)]).expect("bench run");
+                            }
+                        });
+                    }
+                    _ => {
+                        let opts = RunOptions::with_pes(workers);
+                        b.iter(|| {
+                            for _ in 0..REUSE_RUNS {
+                                program
+                                    .run_on("native", &[Value::Int(n)], &opts)
+                                    .expect("bench run");
+                            }
+                        });
+                    }
+                }
+                mean_us = b.mean_ns / 1e3 / REUSE_RUNS as f64;
+            },
+        );
+        rows.push_str(&format!(
+            ",\n    {{\"workload\": \"{workload}\", \"n\": {n}, \"engine\": \"{mode}\", \
+             \"workers\": {reuse_workers}, \"mean_wall_us\": {mean_us:.1}}}"
+        ));
+    }
+    group.finish();
 
     let out = format!(
         "{{\n  \"bench\": \"engines\",\n  \"host_parallelism\": {host_parallelism},\n  \

@@ -15,10 +15,10 @@ use pods::{report, RunOptions, Value};
 
 fn main() {
     let n: i64 = 32;
-    let engine = pods_bench::engine_name();
+    let engine = pods_bench::engine_kind();
     let program = pods_bench::compile_simple();
     let outcome = program
-        .run_on(&engine, &[Value::Int(n)], &RunOptions::with_pes(1))
+        .run_on(engine.name(), &[Value::Int(n)], &RunOptions::with_pes(1))
         .expect("PODS single-PE run");
 
     let seq = program

@@ -12,11 +12,11 @@ fn main() {
     let sizes = pods_bench::mesh_sizes();
     // PODS_ENGINE=native reports real hardware-thread speed-up through the
     // same sweep code path; the default reports simulated-PE speed-up.
-    let engine = pods_bench::engine_name();
+    let engine = pods_bench::engine_kind();
 
     for &n in &sizes {
         let points = pods::speedup_sweep_on(
-            &engine,
+            engine.name(),
             &program,
             &[Value::Int(n as i64)],
             &pes,

@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pods::{CompiledProgram, EngineOutcome, RunOptions, Value};
+use pods::{CompiledProgram, EngineKind, EngineOutcome, RunOptions, Value};
 
 /// Mesh sizes used by the SIMPLE experiments. Honours the
 /// `PODS_MESH_SIZES` environment variable (comma-separated) so slow machines
@@ -62,8 +62,15 @@ pub fn run_simple(program: &CompiledProgram, n: usize, pes: usize) -> pods::RunO
 /// environment variable (default: the machine simulator). This lets every
 /// figure binary re-run its experiment on the native thread-pool engine
 /// (`PODS_ENGINE=native`) without code changes.
-pub fn engine_name() -> String {
-    std::env::var("PODS_ENGINE").unwrap_or_else(|_| "sim".to_string())
+///
+/// Parsing is centralised in [`pods::EngineKind::from_env`]; an unknown
+/// value aborts loudly instead of silently falling back to the simulator.
+///
+/// # Panics
+///
+/// Panics when `PODS_ENGINE` is set to a name no engine answers to.
+pub fn engine_kind() -> EngineKind {
+    EngineKind::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs SIMPLE on the named engine.
@@ -108,7 +115,7 @@ mod tests {
     #[test]
     fn engine_selection_defaults_to_the_simulator() {
         if std::env::var("PODS_ENGINE").is_err() {
-            assert_eq!(engine_name(), "sim");
+            assert_eq!(engine_kind(), EngineKind::Sim);
         }
         let program = compile_simple();
         let outcome = run_simple_on("native", &program, 8, 2);

@@ -156,7 +156,7 @@ impl<T> SharedArray<T> {
 ///
 /// The waiter tag type `T` identifies the blocked computation to re-activate
 /// when a deferred element is finally written (the native engine uses an
-/// `(instance, slot)` pair, mirroring the simulator's [`crate::memory`]
+/// `(instance, slot)` pair, mirroring the simulator's `memory`
 /// tokens).
 #[derive(Debug)]
 pub struct SharedArrayStore<T> {

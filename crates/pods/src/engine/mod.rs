@@ -24,17 +24,25 @@
 //!   thread-safe I-structure store, reporting *wall-clock* time on N OS
 //!   threads.
 //!
+//! Engine selection is *typed*: [`EngineKind`] is the enum of the four
+//! engines, parses every historical name and alias (`FromStr`), and maps to
+//! a `&'static` engine instance without allocation. The preferred way to
+//! execute programs is a [`crate::Runtime`] built from an `EngineKind`;
+//! the example below drives the static registry directly:
+//!
 //! ```
-//! use pods::{compile, engine_by_name, RunOptions, Value};
+//! use pods::{compile, EngineKind, RunOptions, Value};
 //!
 //! let program = compile(
 //!     "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * i; } return a; }",
 //! )?;
-//! for name in ["sim", "seq", "pr", "native"] {
-//!     let engine = engine_by_name(name).unwrap();
-//!     let outcome = engine.run(&program, &[Value::Int(8)], &RunOptions::with_pes(2))?;
+//! for kind in EngineKind::ALL {
+//!     let outcome = kind
+//!         .engine()
+//!         .run(&program, &[Value::Int(8)], &RunOptions::with_pes(2))?;
 //!     assert_eq!(outcome.returned_array().unwrap().get(&[3]), Some(Value::Int(9)));
 //! }
+//! assert_eq!("threads".parse::<EngineKind>()?, EngineKind::Native);
 //! # Ok::<(), pods::PodsError>(())
 //! ```
 
@@ -43,6 +51,7 @@ mod pr;
 mod seq;
 mod sim;
 
+pub(crate) use native::{NativeJobHandle, NativePool};
 pub use native::{NativeParallelEngine, NativeStats};
 pub use pr::PrEstimateEngine;
 pub use seq::SequentialEngine;
@@ -54,6 +63,7 @@ use pods_baseline::PrPoint;
 use pods_istructure::Value;
 use pods_machine::{ArraySnapshot, SimulationStats, Unit};
 use pods_partition::PartitionReport;
+use std::sync::LazyLock;
 
 /// A uniform executor of compiled PODS programs.
 ///
@@ -176,18 +186,125 @@ impl EngineOutcome {
 /// Names of all built-in engines, in canonical order.
 pub const ENGINE_NAMES: [&str; 4] = ["sim", "seq", "pr", "native"];
 
+/// The typed identity of an execution engine.
+///
+/// This replaces stringly engine selection: parse a name (or alias) once
+/// into an `EngineKind`, then build a [`crate::Runtime`] from it or fetch
+/// the `&'static` engine instance with [`EngineKind::engine`]. Parsing is
+/// case-insensitive and accepts every name the string-based API ever
+/// accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The instruction-level iPSC/2 machine simulator ([`SimEngine`]).
+    Sim,
+    /// The sequential oracle interpreter ([`SequentialEngine`]).
+    Seq,
+    /// The Pingali & Rogers static-compilation cost model
+    /// ([`PrEstimateEngine`]).
+    Pr,
+    /// The native work-stealing thread pool ([`NativeParallelEngine`]).
+    Native,
+}
+
+static SIM_ENGINE: SimEngine = SimEngine;
+static SEQ_ENGINE: SequentialEngine = SequentialEngine;
+static NATIVE_ENGINE: NativeParallelEngine = NativeParallelEngine;
+static PR_ENGINE: LazyLock<PrEstimateEngine> = LazyLock::new(PrEstimateEngine::default);
+
+impl EngineKind {
+    /// All engine kinds, in canonical order (matching [`ENGINE_NAMES`]).
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Sim,
+        EngineKind::Seq,
+        EngineKind::Pr,
+        EngineKind::Native,
+    ];
+
+    /// The canonical short name (`"sim"`, `"seq"`, `"pr"`, `"native"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sim => "sim",
+            EngineKind::Seq => "seq",
+            EngineKind::Pr => "pr",
+            EngineKind::Native => "native",
+        }
+    }
+
+    /// Every accepted spelling of this kind, canonical name first.
+    pub fn aliases(self) -> &'static [&'static str] {
+        match self {
+            EngineKind::Sim => &["sim", "simulator", "pods"],
+            EngineKind::Seq => &["seq", "sequential", "baseline"],
+            EngineKind::Pr => &["pr", "estimate", "pingali-rogers"],
+            EngineKind::Native => &["native", "threads", "parallel"],
+        }
+    }
+
+    /// Parses a name or alias, case-insensitively and without allocating.
+    /// Returns `None` for unknown names ([`std::str::FromStr`] maps that to
+    /// [`PodsError::UnknownEngine`]).
+    pub fn parse(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.aliases().iter().any(|a| a.eq_ignore_ascii_case(name)))
+    }
+
+    /// The shared, statically-allocated engine instance of this kind.
+    pub fn engine(self) -> &'static dyn Engine {
+        match self {
+            EngineKind::Sim => &SIM_ENGINE,
+            EngineKind::Seq => &SEQ_ENGINE,
+            EngineKind::Pr => &*PR_ENGINE,
+            EngineKind::Native => &NATIVE_ENGINE,
+        }
+    }
+
+    /// The engine kind selected by the `PODS_ENGINE` environment variable
+    /// (default: [`EngineKind::Sim`] when unset).
+    ///
+    /// This is the one place CLIs should read `PODS_ENGINE`, so that an
+    /// unknown value fails loudly everywhere instead of silently falling
+    /// back to a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodsError::UnknownEngine`] when the variable is set to a
+    /// name no engine answers to (or to non-UTF-8 bytes).
+    pub fn from_env() -> Result<EngineKind, PodsError> {
+        match std::env::var("PODS_ENGINE") {
+            Ok(name) => name.parse(),
+            Err(std::env::VarError::NotPresent) => Ok(EngineKind::Sim),
+            Err(std::env::VarError::NotUnicode(raw)) => Err(PodsError::UnknownEngine {
+                name: raw.to_string_lossy().into_owned(),
+            }),
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = PodsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(s).ok_or_else(|| PodsError::UnknownEngine {
+            name: s.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Looks an engine up by name (case-insensitive; a few aliases accepted).
 ///
-/// Returns `None` for unknown names; [`crate::pipeline::CompiledProgram::run_on`]
-/// converts that into [`PodsError::UnknownEngine`].
-pub fn engine_by_name(name: &str) -> Option<Box<dyn Engine>> {
-    match name.to_ascii_lowercase().as_str() {
-        "sim" | "simulator" | "pods" => Some(Box::new(SimEngine)),
-        "seq" | "sequential" | "baseline" => Some(Box::new(SequentialEngine)),
-        "pr" | "estimate" | "pingali-rogers" => Some(Box::new(PrEstimateEngine::default())),
-        "native" | "threads" | "parallel" => Some(Box::new(NativeParallelEngine)),
-        _ => None,
-    }
+/// Allocation-free: backed by [`EngineKind::parse`] and the static engine
+/// registry. Returns `None` for unknown names;
+/// [`crate::pipeline::CompiledProgram::run_on`] converts that into
+/// [`PodsError::UnknownEngine`].
+pub fn engine_by_name(name: &str) -> Option<&'static dyn Engine> {
+    Some(EngineKind::parse(name)?.engine())
 }
 
 /// Shared argument validation used by every engine.
@@ -219,6 +336,25 @@ mod tests {
         assert_eq!(engine_by_name("SIMULATOR").unwrap().name(), "sim");
         assert_eq!(engine_by_name("threads").unwrap().name(), "native");
         assert!(engine_by_name("warp-drive").is_none());
+    }
+
+    #[test]
+    fn engine_kind_is_typed_and_static() {
+        for (kind, name) in EngineKind::ALL.into_iter().zip(ENGINE_NAMES) {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.to_string(), name);
+            assert_eq!(kind.engine().name(), name);
+            assert_eq!(name.parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(kind.aliases()[0], name);
+        }
+        // The registry hands out the same static instance every time.
+        let a = engine_by_name("sim").unwrap() as *const dyn Engine;
+        let b = engine_by_name("simulator").unwrap() as *const dyn Engine;
+        assert!(std::ptr::addr_eq(a, b));
+        assert!(matches!(
+            "warp-drive".parse::<EngineKind>(),
+            Err(PodsError::UnknownEngine { name }) if name == "warp-drive"
+        ));
     }
 
     #[test]

@@ -17,35 +17,59 @@
 //! The write (or return) that produces the operand delivers it into the
 //! parked frame and re-enqueues the instance. This makes the engine
 //! deadlock-free under any scheduling order a correct program allows, and
-//! lets it detect true deadlocks exactly: when no task is queued or running
-//! but instances remain parked, no future delivery can happen.
+//! lets it detect true deadlocks exactly: when no task of a job is queued or
+//! running but instances remain parked, no future delivery can happen.
 //!
 //! The pool is work-stealing: each worker owns a deque, pushes the instances
 //! it spawns or wakes locally (loop bodies stay near their Range-Filtered
 //! parent), and steals from siblings when idle — `std` threads, mutexes and
 //! condvars only, no unsafe code.
+//!
+//! # Pool lifecycle vs per-job state
+//!
+//! The paper's speed-ups depend on amortising spawn/steal overhead, so the
+//! pool is split into two layers:
+//!
+//! * [`NativePool`] owns the *long-lived* machinery: the worker threads,
+//!   their deques, and the shared condvar. A pool outlives any single
+//!   program execution; [`crate::Runtime`] keeps one alive across calls.
+//! * [`Job`] owns everything scoped to *one* program execution: the SP
+//!   program, its I-structure store, the parked-instance registry and
+//!   mailbox, liveness counters (for per-job deadlock detection), the
+//!   first-error slot, and the result. Tasks carry an `Arc<Job>`, so any
+//!   number of jobs can be in flight on one pool without cross-talk.
+//!
+//! The one-shot [`NativeParallelEngine`] (the `Engine`-trait cold path)
+//! simply creates a transient pool, submits one job, waits, and tears the
+//! pool down — [`crate::Runtime::run`] is the amortised path.
 
 use super::{check_invocation, Engine, EngineOutcome, EngineStats};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
 use pods_machine::{eval_binary, eval_unary, ArraySnapshot, InstanceId, SimulationError};
+use pods_partition::PartitionReport;
 use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Executes the partitioned SP program on a real work-stealing thread pool
 /// with `opts.num_pes` workers. Reports wall-clock time — the only honest
 /// clock for native execution.
+///
+/// This is the *cold* path: every `run` spins up a fresh pool and tears it
+/// down afterwards. To reuse one pool across many runs (amortising thread
+/// spawn and warm-up, the whole point of iteration-level parallelism), use
+/// [`crate::Runtime`] with [`crate::EngineKind::Native`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NativeParallelEngine;
 
-/// Counters reported by the native thread pool.
+/// Counters reported by the native thread pool for one job.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NativeStats {
-    /// Number of worker threads.
+    /// Number of worker threads in the pool that ran the job.
     pub workers: usize,
     /// SP instances created over the run.
     pub instances: u64,
@@ -55,6 +79,14 @@ pub struct NativeStats {
     pub parks: u64,
     /// Tasks obtained by stealing from another worker's deque.
     pub steals: u64,
+    /// Process-unique identity of the worker pool that executed the job.
+    /// Two runs on the same [`crate::Runtime`] report the same `pool_id`
+    /// (the worker threads were reused); two cold
+    /// [`CompiledProgram::run_on`] calls report different ones.
+    pub pool_id: u64,
+    /// 1-based sequence number of this job on its pool. A reused pool
+    /// reports 1, 2, 3, … across successive submissions.
+    pub job_seq: u64,
 }
 
 /// `(instance, slot)` continuation tag: where a produced value must go.
@@ -170,17 +202,25 @@ struct Sched {
     mailbox: HashMap<InstanceId, Vec<(SlotId, Value)>>,
 }
 
-/// Liveness accounting. `live` counts existing instances (queued, running,
-/// or parked); `in_flight` counts queued-or-running tasks; `ready` counts
-/// queued tasks (the condvar predicate for idle workers).
-struct Coord {
+/// Per-job liveness accounting. `live` counts existing instances (queued,
+/// running, or parked); `in_flight` counts queued-or-running tasks. When
+/// `in_flight` hits zero with instances still live, no future delivery can
+/// wake them: the job is deadlocked.
+#[derive(Default)]
+struct JobCounts {
     live: usize,
     in_flight: usize,
-    ready: isize,
-    shutdown: bool,
 }
 
-struct Pool {
+/// Everything scoped to one submitted program execution. Tasks reference
+/// their job through an `Arc`, so concurrent jobs on one pool have fully
+/// disjoint instance namespaces, I-structure stores, schedulers, deadlock
+/// detection, and error/result slots.
+struct Job {
+    /// 1-based submission sequence number on the owning pool.
+    seq: u64,
+    /// Identity of the owning pool (for reuse assertions / stats).
+    pool_id: u64,
     program: Arc<SpProgram>,
     /// Precomputed read-slot lists per (template, pc): the firing-rule
     /// check runs for every executed instruction, and rebuilding the list
@@ -188,14 +228,17 @@ struct Pool {
     /// instructions.
     read_slots: Vec<Vec<Vec<SlotId>>>,
     store: SharedArrayStore<NativeWaiter>,
-    queues: Vec<Mutex<VecDeque<NInstance>>>,
-    coord: Mutex<Coord>,
-    cv: Condvar,
     sched: Mutex<Sched>,
+    counts: Mutex<JobCounts>,
+    /// Set on first error (or cancellation): workers abandon this job's
+    /// tasks instead of running them.
     stop: AtomicBool,
     error: Mutex<Option<SimulationError>>,
     result: Mutex<Option<Value>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
     entry: InstanceId,
+    /// Virtual-PE count for partitioning decisions (= pool worker count).
     workers: usize,
     page_size: usize,
     /// 0 = unlimited; otherwise abort after this many task executions
@@ -208,46 +251,8 @@ struct Pool {
     steals: AtomicU64,
 }
 
-impl Pool {
-    fn new(program: SpProgram, workers: usize, page_size: usize, max_tasks: u64) -> Self {
-        let read_slots = program
-            .templates()
-            .iter()
-            .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
-            .collect();
-        Pool {
-            program: Arc::new(program),
-            read_slots,
-            store: SharedArrayStore::new(),
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            coord: Mutex::new(Coord {
-                live: 0,
-                in_flight: 0,
-                ready: 0,
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-            sched: Mutex::new(Sched::default()),
-            stop: AtomicBool::new(false),
-            error: Mutex::new(None),
-            result: Mutex::new(None),
-            entry: InstanceId(0),
-            workers,
-            page_size,
-            max_tasks,
-            next_instance: AtomicU64::new(0),
-            next_array: AtomicUsize::new(0),
-            tasks: AtomicU64::new(0),
-            parks: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-        }
-    }
-
-    fn lock_coord(&self) -> std::sync::MutexGuard<'_, Coord> {
-        self.coord.lock().expect("coord poisoned")
-    }
-
-    /// Records the first error and initiates shutdown.
+impl Job {
+    /// Records the first error and stops the job (not the pool).
     fn fail(&self, err: SimulationError) {
         {
             let mut slot = self.error.lock().expect("error poisoned");
@@ -255,26 +260,85 @@ impl Pool {
                 *slot = Some(err);
             }
         }
-        self.shutdown();
-    }
-
-    fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.lock_coord().shutdown = true;
-        self.cv.notify_all();
+        self.complete();
     }
 
-    /// No queued or running task remains but instances are still parked:
-    /// nothing can ever deliver their operands.
-    fn report_deadlock(&self) {
-        let sched = self.sched.lock().expect("sched poisoned");
+    /// Marks the job finished and wakes every `wait`er.
+    fn complete(&self) {
+        *self.done.lock().expect("done poisoned") = true;
+        self.done_cv.notify_all();
+    }
+
+    fn stats(&self) -> NativeStats {
+        NativeStats {
+            workers: self.workers,
+            instances: self.next_instance.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            pool_id: self.pool_id,
+            job_seq: self.seq,
+        }
+    }
+}
+
+/// A runnable unit on the pool: one instance of one job.
+struct Task {
+    job: Arc<Job>,
+    inst: NInstance,
+}
+
+/// Pool-wide scheduling state shared by the workers and submitters.
+struct PoolCoord {
+    /// Queued tasks across all deques (the condvar predicate for idle
+    /// workers).
+    ready: isize,
+    /// Set only when the pool itself is being torn down.
+    shutdown: bool,
+}
+
+/// Process-unique pool identities, so tests (and users) can assert that two
+/// runs really shared one set of worker threads.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+struct PoolShared {
+    id: u64,
+    workers: usize,
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    coord: Mutex<PoolCoord>,
+    cv: Condvar,
+    jobs_submitted: AtomicU64,
+    /// Cheap teardown flag checked on the workers' hot paths (between
+    /// tasks and between instructions), so dropping the pool aborts
+    /// in-flight jobs at the next instruction boundary instead of running
+    /// every queued task to completion first.
+    stop: AtomicBool,
+}
+
+/// The error every job cut short by pool teardown reports.
+fn cancellation_error() -> SimulationError {
+    SimulationError::Runtime(
+        "job cancelled: its runtime was dropped before the job completed".into(),
+    )
+}
+
+impl PoolShared {
+    fn lock_coord(&self) -> std::sync::MutexGuard<'_, PoolCoord> {
+        self.coord.lock().expect("coord poisoned")
+    }
+
+    /// No queued or running task of the job remains but instances are still
+    /// parked: nothing can ever deliver their operands.
+    fn report_deadlock(&self, job: &Job) {
+        let sched = job.sched.lock().expect("sched poisoned");
         let stuck = sched.blocked.len();
         let detail = sched
             .blocked
             .values()
             .next()
             .map(|b| {
-                let template = self.program.template(b.inst.template);
+                let template = job.program.template(b.inst.template);
                 format!(
                     "inst{} of {} parked at pc {} on {}",
                     b.inst.id.0, template.name, b.inst.pc, b.slot
@@ -282,7 +346,7 @@ impl Pool {
             })
             .unwrap_or_default();
         drop(sched);
-        self.fail(SimulationError::Deadlock {
+        job.fail(SimulationError::Deadlock {
             stuck_instances: stuck.max(1),
             detail,
         });
@@ -290,39 +354,43 @@ impl Pool {
 
     /// Makes a task runnable on worker `w`'s deque. `new` marks a freshly
     /// created instance (as opposed to a woken one).
-    fn enqueue(&self, w: usize, inst: NInstance, new: bool) {
+    fn enqueue(&self, w: usize, job: &Arc<Job>, inst: NInstance, new: bool) {
         {
-            let mut c = self.lock_coord();
+            let mut c = job.counts.lock().expect("counts poisoned");
             if new {
                 c.live += 1;
             }
             c.in_flight += 1;
-            c.ready += 1;
         }
+        self.lock_coord().ready += 1;
         self.queues[w]
             .lock()
             .expect("queue poisoned")
-            .push_back(inst);
+            .push_back(Task {
+                job: Arc::clone(job),
+                inst,
+            });
         self.cv.notify_one();
     }
 
     fn spawn_instance(
         &self,
         w: usize,
+        job: &Arc<Job>,
         template_id: SpId,
         args: Vec<Value>,
         pe: usize,
         return_to: Option<NativeWaiter>,
     ) {
-        let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
-        let num_slots = self.program.template(template_id).num_slots;
+        let id = InstanceId(job.next_instance.fetch_add(1, Ordering::Relaxed));
+        let num_slots = job.program.template(template_id).num_slots;
         let inst = NInstance::new(id, template_id, pe, num_slots, &args, return_to);
-        self.enqueue(w, inst, true);
+        self.enqueue(w, job, inst, true);
     }
 
     /// Pops the next task: own deque first (LIFO end for locality), then
     /// steal from siblings (FIFO end, taking the oldest work).
-    fn pop_task(&self, w: usize) -> Option<NInstance> {
+    fn pop_task(&self, w: usize) -> Option<Task> {
         let own = self.queues[w].lock().expect("queue poisoned").pop_back();
         let task = own.or_else(|| {
             (1..self.workers).find_map(|i| {
@@ -331,8 +399,8 @@ impl Pool {
                     .lock()
                     .expect("queue poisoned")
                     .pop_front();
-                if stolen.is_some() {
-                    self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &stolen {
+                    t.job.steals.fetch_add(1, Ordering::Relaxed);
                 }
                 stolen
             })
@@ -346,15 +414,15 @@ impl Pool {
     /// Sends a value to a waiter. If the target is parked on that slot it is
     /// woken onto worker `w`'s deque; otherwise the value is stashed in the
     /// mailbox for the target to drain at its next park attempt.
-    fn deliver(&self, w: usize, waiter: NativeWaiter, value: Value) {
+    fn deliver(&self, w: usize, job: &Arc<Job>, waiter: NativeWaiter, value: Value) {
         let (target, slot) = waiter;
-        let mut sched = self.sched.lock().expect("sched poisoned");
+        let mut sched = job.sched.lock().expect("sched poisoned");
         if let Some(b) = sched.blocked.get_mut(&target) {
             b.inst.set_slot(slot, value);
             if b.slot == slot {
                 let b = sched.blocked.remove(&target).expect("checked above");
                 drop(sched);
-                self.enqueue(w, b.inst, false);
+                self.enqueue(w, job, b.inst, false);
             }
         } else {
             sched.mailbox.entry(target).or_default().push((slot, value));
@@ -364,8 +432,8 @@ impl Pool {
     /// Parks `inst` waiting on `slot`, unless a mailbox delivery already
     /// filled it — in that case the instance is handed back for the worker
     /// to keep running.
-    fn park(&self, mut inst: NInstance, slot: SlotId) -> Option<NInstance> {
-        let mut sched = self.sched.lock().expect("sched poisoned");
+    fn park(&self, job: &Arc<Job>, mut inst: NInstance, slot: SlotId) -> Option<NInstance> {
+        let mut sched = job.sched.lock().expect("sched poisoned");
         if let Some(msgs) = sched.mailbox.remove(&inst.id) {
             for (s, v) in msgs {
                 inst.set_slot(s, v);
@@ -376,40 +444,40 @@ impl Pool {
         }
         sched.blocked.insert(inst.id, Blocked { inst, slot });
         drop(sched);
-        self.parks.fetch_add(1, Ordering::Relaxed);
-        let mut c = self.lock_coord();
+        job.parks.fetch_add(1, Ordering::Relaxed);
+        let mut c = job.counts.lock().expect("counts poisoned");
         c.in_flight -= 1;
-        let deadlocked = c.in_flight == 0 && c.live > 0 && !c.shutdown;
+        let deadlocked = c.in_flight == 0 && c.live > 0 && !job.stop.load(Ordering::Relaxed);
         drop(c);
         if deadlocked {
-            self.report_deadlock();
+            self.report_deadlock(job);
         }
         None
     }
 
     /// Terminates an instance, routing its return value.
-    fn finish(&self, inst: NInstance, value: Option<Value>, w: usize) {
-        if inst.id == self.entry {
-            *self.result.lock().expect("result poisoned") = value;
+    fn finish(&self, w: usize, job: &Arc<Job>, inst: NInstance, value: Option<Value>) {
+        if inst.id == job.entry {
+            *job.result.lock().expect("result poisoned") = value;
         } else if let (Some(ret), Some(v)) = (inst.return_to, value) {
-            self.deliver(w, ret, v);
+            self.deliver(w, job, ret, v);
         }
-        let mut c = self.lock_coord();
+        let mut c = job.counts.lock().expect("counts poisoned");
         c.in_flight -= 1;
         c.live -= 1;
         let all_done = c.live == 0;
-        let deadlocked = !all_done && c.in_flight == 0 && !c.shutdown;
+        let deadlocked = !all_done && c.in_flight == 0 && !job.stop.load(Ordering::Relaxed);
         drop(c);
         if all_done {
-            self.shutdown();
+            job.complete();
         } else if deadlocked {
-            self.report_deadlock();
+            self.report_deadlock(job);
         }
     }
 
-    /// Accounting for a task abandoned because of a global error.
-    fn abandon(&self) {
-        let mut c = self.lock_coord();
+    /// Accounting for a task abandoned because its job errored out.
+    fn abandon(&self, job: &Job) {
+        let mut c = job.counts.lock().expect("counts poisoned");
         c.in_flight -= 1;
         c.live -= 1;
     }
@@ -425,6 +493,7 @@ impl Pool {
 
     fn array_offset(
         &self,
+        job: &Job,
         cache: &mut ArrayCache,
         inst: &NInstance,
         array: Value,
@@ -437,7 +506,7 @@ impl Pool {
             .iter()
             .map(|i| self.operand(inst, i).as_i64().unwrap_or(-1))
             .collect();
-        let shared = cache.get(&self.store, id)?;
+        let shared = cache.get(&job.store, id)?;
         match shared.header().offset_of(&idx) {
             Some(offset) => Ok((id, offset)),
             None => Err(format!(
@@ -450,6 +519,7 @@ impl Pool {
 
     fn execute(
         &self,
+        job: &Arc<Job>,
         cache: &mut ArrayCache,
         inst: &mut NInstance,
         instr: &Instr,
@@ -495,14 +565,14 @@ impl Pool {
                 if dim_values.contains(&0) {
                     return Err(format!("array `{name}` allocated with a zero dimension"));
                 }
-                let id = ArrayId(self.next_array.fetch_add(1, Ordering::Relaxed));
+                let id = ArrayId(job.next_array.fetch_add(1, Ordering::Relaxed));
                 let total: usize = dim_values.iter().product();
                 let partitioning = if *distributed {
-                    Partitioning::new(total, self.page_size, self.workers)
+                    Partitioning::new(total, job.page_size, job.workers)
                 } else {
-                    Partitioning::single_owner(total, self.page_size, self.workers, PeId(inst.pe))
+                    Partitioning::single_owner(total, job.page_size, job.workers, PeId(inst.pe))
                 };
-                self.store
+                job.store
                     .allocate(
                         id,
                         name.clone(),
@@ -519,8 +589,8 @@ impl Pool {
                 indices,
             } => {
                 let array_v = self.operand(inst, array);
-                let (id, offset) = self.array_offset(cache, inst, array_v, indices)?;
-                let shared = cache.get(&self.store, id)?;
+                let (id, offset) = self.array_offset(job, cache, inst, array_v, indices)?;
+                let shared = cache.get(&job.store, id)?;
                 match shared
                     .read(offset, (inst.id, *dst))
                     .map_err(|e| e.to_string())?
@@ -545,11 +615,11 @@ impl Pool {
             } => {
                 let array_v = self.operand(inst, array);
                 let v = self.operand(inst, value);
-                let (id, offset) = self.array_offset(cache, inst, array_v, indices)?;
-                let shared = cache.get(&self.store, id)?;
+                let (id, offset) = self.array_offset(job, cache, inst, array_v, indices)?;
+                let shared = cache.get(&job.store, id)?;
                 let woken = shared.write(offset, v).map_err(|e| e.to_string())?;
                 for waiter in woken {
-                    self.deliver(w, waiter, v);
+                    self.deliver(w, job, waiter, v);
                 }
                 Ok(Step::Next)
             }
@@ -565,12 +635,12 @@ impl Pool {
                     (inst.id, slot)
                 });
                 if *distributed {
-                    for q in 0..self.workers {
+                    for q in 0..job.workers {
                         let ret_here = if q == inst.pe { return_to } else { None };
-                        self.spawn_instance(w, *target, arg_values.clone(), q, ret_here);
+                        self.spawn_instance(w, job, *target, arg_values.clone(), q, ret_here);
                     }
                 } else {
-                    self.spawn_instance(w, *target, arg_values, inst.pe, return_to);
+                    self.spawn_instance(w, job, *target, arg_values, inst.pe, return_to);
                 }
                 Ok(Step::Next)
             }
@@ -597,7 +667,7 @@ impl Pool {
                 let Some(id) = array_v.as_array() else {
                     return Err(format!("range filter on a non-array value {array_v}"));
                 };
-                let shared = cache.get(&self.store, id)?;
+                let shared = cache.get(&job.store, id)?;
                 let range = shared.header().responsibility(PeId(inst.pe), *dim, outer_v);
                 let value = if is_lo {
                     default_v.max(range.start)
@@ -614,27 +684,34 @@ impl Pool {
         }
     }
 
-    /// Runs one instance until it finishes, parks, or the pool shuts down.
-    fn run_instance(&self, mut inst: NInstance, w: usize) {
-        let executed = self.tasks.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.max_tasks > 0 && executed > self.max_tasks {
-            self.fail(SimulationError::EventLimitExceeded {
-                limit: self.max_tasks,
+    /// Runs one instance until it finishes, parks, or its job stops.
+    fn run_instance(&self, job: &Arc<Job>, mut inst: NInstance, w: usize) {
+        let executed = job.tasks.fetch_add(1, Ordering::Relaxed) + 1;
+        if job.max_tasks > 0 && executed > job.max_tasks {
+            job.fail(SimulationError::EventLimitExceeded {
+                limit: job.max_tasks,
             });
-            self.abandon();
+            self.abandon(job);
             return;
         }
-        let program = Arc::clone(&self.program);
+        let program = Arc::clone(&job.program);
         let template = program.template(inst.template);
-        let slot_table = &self.read_slots[inst.template.index()];
+        let slot_table = &job.read_slots[inst.template.index()];
         let mut cache = ArrayCache::default();
         loop {
+            if job.stop.load(Ordering::Relaxed) {
+                self.abandon(job);
+                return;
+            }
             if self.stop.load(Ordering::Relaxed) {
-                self.abandon();
+                // The pool is being torn down: cut the job short so its
+                // waiter gets a cancellation error instead of hanging.
+                job.fail(cancellation_error());
+                self.abandon(job);
                 return;
             }
             if inst.pc >= template.code.len() {
-                self.finish(inst, None, w);
+                self.finish(w, job, inst, None);
                 return;
             }
             let instr = &template.code[inst.pc];
@@ -644,7 +721,7 @@ impl Pool {
                 .copied()
                 .find(|s| !inst.is_present(*s))
             {
-                match self.park(inst, missing) {
+                match self.park(job, inst, missing) {
                     Some(resumed) => {
                         inst = resumed;
                         continue;
@@ -652,20 +729,20 @@ impl Pool {
                     None => return,
                 }
             }
-            match self.execute(&mut cache, &mut inst, instr, w) {
+            match self.execute(job, &mut cache, &mut inst, instr, w) {
                 Ok(Step::Next) => inst.pc += 1,
                 Ok(Step::Jump(target)) => inst.pc = target,
-                Ok(Step::Park(slot)) => match self.park(inst, slot) {
+                Ok(Step::Park(slot)) => match self.park(job, inst, slot) {
                     Some(resumed) => inst = resumed,
                     None => return,
                 },
                 Ok(Step::Finished(v)) => {
-                    self.finish(inst, v, w);
+                    self.finish(w, job, inst, v);
                     return;
                 }
                 Err(msg) => {
-                    self.fail(SimulationError::Runtime(msg));
-                    self.abandon();
+                    job.fail(SimulationError::Runtime(msg));
+                    self.abandon(job);
                     return;
                 }
             }
@@ -675,10 +752,12 @@ impl Pool {
     fn worker(&self, w: usize) {
         loop {
             if self.stop.load(Ordering::Relaxed) {
+                // Leave queued tasks in place: `Drop` drains them and fails
+                // their jobs with the cancellation error.
                 return;
             }
-            if let Some(inst) = self.pop_task(w) {
-                self.run_instance(inst, w);
+            if let Some(task) = self.pop_task(w) {
+                self.run_instance(&task.job, task.inst, w);
                 continue;
             }
             let c = self.lock_coord();
@@ -686,65 +765,184 @@ impl Pool {
                 return;
             }
             if c.ready <= 0 {
-                // Timed wait: the predicate spans the per-worker deques, so
-                // a bounded timeout guards the rare enqueue/sleep race.
-                let _unused = self
-                    .cv
-                    .wait_timeout(c, Duration::from_millis(2))
-                    .expect("coord poisoned");
+                // Untimed wait is lost-wakeup-safe: `ready` is incremented
+                // under this same mutex before the task is pushed, and the
+                // notify fires after the push — so either this check sees
+                // ready > 0, or the enqueuer's notify lands after the wait
+                // has atomically released the lock. A persistent pool must
+                // not poll: idle runtimes should cost nothing.
+                let _unused = self.cv.wait(c).expect("coord poisoned");
             }
-        }
-    }
-
-    fn stats(&self) -> NativeStats {
-        NativeStats {
-            workers: self.workers,
-            instances: self.next_instance.load(Ordering::Relaxed),
-            tasks: self.tasks.load(Ordering::Relaxed),
-            parks: self.parks.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Executes a partitioned program on `workers` threads and returns the
-/// return value, the array snapshots, and the pool counters.
-fn execute_native(
-    program: SpProgram,
-    args: &[Value],
-    workers: usize,
-    page_size: usize,
-    max_tasks: u64,
-) -> Result<(Option<Value>, Vec<ArraySnapshot>, NativeStats), SimulationError> {
-    let entry = program.entry();
-    let pool = Arc::new(Pool::new(program, workers, page_size, max_tasks));
-    pool.spawn_instance(0, entry, args.to_vec(), 0, None);
+/// A persistent work-stealing worker pool: `workers` OS threads that stay
+/// parked between jobs and execute any number of submitted jobs, serially
+/// or concurrently. Dropping the pool joins the threads; outstanding jobs —
+/// queued or in flight — are cut short (at the next instruction boundary)
+/// and fail with a cancellation error rather than hanging their waiters.
+pub(crate) struct NativePool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
 
-    let mut handles = Vec::new();
-    for w in 0..workers {
-        let pool = Arc::clone(&pool);
-        handles.push(std::thread::spawn(move || pool.worker(w)));
-    }
-    for h in handles {
-        h.join().expect("native worker panicked");
+impl NativePool {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            workers,
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            coord: Mutex::new(PoolCoord {
+                ready: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            jobs_submitted: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pods-native-{}-{w}", shared.id))
+                    .spawn(move || s.worker(w))
+                    .expect("spawn native worker")
+            })
+            .collect();
+        NativePool { shared, threads }
     }
 
-    if let Some(err) = pool.error.lock().expect("error poisoned").take() {
-        return Err(err);
+    /// Process-unique identity of this pool.
+    pub(crate) fn id(&self) -> u64 {
+        self.shared.id
     }
-    let arrays = pool
-        .store
-        .snapshots()
-        .into_iter()
-        .map(|(id, name, shape, values)| ArraySnapshot {
-            id,
-            name,
-            shape,
-            values,
+
+    /// Submits one partitioned program for execution and returns a handle
+    /// to wait on. The entry instance is placed on a rotating home worker so
+    /// that concurrent jobs spread across the pool.
+    pub(crate) fn submit(
+        &self,
+        program: SpProgram,
+        args: &[Value],
+        partition: PartitionReport,
+        page_size: usize,
+        max_tasks: u64,
+    ) -> NativeJobHandle {
+        let started = Instant::now();
+        let seq = self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry_template = program.entry();
+        let read_slots = program
+            .templates()
+            .iter()
+            .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
+            .collect();
+        let job = Arc::new(Job {
+            seq,
+            pool_id: self.shared.id,
+            program: Arc::new(program),
+            read_slots,
+            store: SharedArrayStore::new(),
+            sched: Mutex::new(Sched::default()),
+            counts: Mutex::new(JobCounts::default()),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            result: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            entry: InstanceId(0),
+            workers: self.shared.workers,
+            page_size,
+            max_tasks,
+            next_instance: AtomicU64::new(0),
+            next_array: AtomicUsize::new(0),
+            tasks: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let home = (seq as usize - 1) % self.shared.workers;
+        self.shared
+            .spawn_instance(home, &job, entry_template, args.to_vec(), 0, None);
+        NativeJobHandle {
+            job,
+            partition,
+            started,
+        }
+    }
+}
+
+impl Drop for NativePool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        {
+            self.shared.lock_coord().shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            t.join().expect("native worker panicked");
+        }
+        // Jobs still queued when the pool dies would otherwise hang their
+        // waiters; fail them loudly instead.
+        for q in &self.shared.queues {
+            for task in q.lock().expect("queue poisoned").drain(..) {
+                task.job.fail(cancellation_error());
+            }
+        }
+    }
+}
+
+/// A handle to one submitted native job. `wait` blocks until the job
+/// completes and assembles the uniform [`EngineOutcome`].
+pub(crate) struct NativeJobHandle {
+    job: Arc<Job>,
+    partition: PartitionReport,
+    started: Instant,
+}
+
+impl NativeJobHandle {
+    /// Whether the job has already completed (successfully or not).
+    pub(crate) fn is_done(&self) -> bool {
+        *self.job.done.lock().expect("done poisoned")
+    }
+
+    /// Blocks until the job completes and returns its outcome.
+    pub(crate) fn wait(self) -> Result<EngineOutcome, PodsError> {
+        let mut done = self.job.done.lock().expect("done poisoned");
+        while !*done {
+            done = self.job.done_cv.wait(done).expect("done poisoned");
+        }
+        drop(done);
+        if let Some(err) = self.job.error.lock().expect("error poisoned").take() {
+            return Err(err.into());
+        }
+        let wall_us = self.started.elapsed().as_secs_f64() * 1e6;
+        let arrays = self
+            .job
+            .store
+            .snapshots()
+            .into_iter()
+            .map(|(id, name, shape, values)| ArraySnapshot {
+                id,
+                name,
+                shape,
+                values,
+            })
+            .collect();
+        let return_value = self.job.result.lock().expect("result poisoned").take();
+        Ok(EngineOutcome {
+            engine: "native",
+            return_value,
+            arrays,
+            modelled_us: None,
+            wall_us,
+            stats: EngineStats::Native {
+                stats: self.job.stats(),
+                partition: self.partition,
+            },
         })
-        .collect();
-    let result = pool.result.lock().expect("result poisoned").take();
-    Ok((result, arrays, pool.stats()))
+    }
 }
 
 impl Engine for NativeParallelEngine {
@@ -763,20 +961,21 @@ impl Engine for NativeParallelEngine {
         opts: &RunOptions,
     ) -> Result<EngineOutcome, PodsError> {
         check_invocation(program, args)?;
-        let workers = opts.num_pes.max(1);
         let start = Instant::now();
+        let pool = NativePool::new(opts.num_pes.max(1));
         let (partitioned, partition) = program.partitioned(opts);
-        let (return_value, arrays, stats) =
-            execute_native(partitioned, args, workers, opts.page_size, opts.max_events)?;
-        let wall_us = start.elapsed().as_secs_f64() * 1e6;
-        Ok(EngineOutcome {
-            engine: self.name(),
-            return_value,
-            arrays,
-            modelled_us: None,
-            wall_us,
-            stats: EngineStats::Native { stats, partition },
-        })
+        let handle = pool.submit(
+            partitioned,
+            args,
+            partition,
+            opts.page_size,
+            opts.max_events,
+        );
+        let mut outcome = handle.wait()?;
+        // The cold path owns the pool, so its wall-clock honestly includes
+        // pool spawn and teardown-free run time measured from entry.
+        outcome.wall_us = start.elapsed().as_secs_f64() * 1e6;
+        Ok(outcome)
     }
 }
 
@@ -918,5 +1117,70 @@ mod tests {
             err,
             PodsError::Simulation(SimulationError::Runtime(_))
         ));
+    }
+
+    #[test]
+    fn one_pool_runs_many_jobs_with_disjoint_state() {
+        // Submit several jobs of different programs to one pool before
+        // waiting on any of them: per-job stores/schedulers must not
+        // cross-talk, and job sequence numbers must be distinct.
+        let fill =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * 3; } return a; }")
+                .unwrap();
+        let scalar = compile("def main(n) { return n * 7; }").unwrap();
+        let pool = NativePool::new(4);
+        let opts = RunOptions::with_pes(4);
+        let mut handles = Vec::new();
+        for k in 0..6i64 {
+            let (program, args) = if k % 2 == 0 {
+                (&fill, vec![Value::Int(8 + k)])
+            } else {
+                (&scalar, vec![Value::Int(k)])
+            };
+            let (partitioned, partition) = program.partitioned(&opts);
+            handles.push((
+                k,
+                pool.submit(partitioned, &args, partition, opts.page_size, 0),
+            ));
+        }
+        let mut seqs = Vec::new();
+        for (k, handle) in handles {
+            let outcome = handle.wait().unwrap();
+            if k % 2 == 0 {
+                let a = outcome.returned_array().unwrap();
+                assert!(a.is_complete(), "job {k} incomplete");
+                assert_eq!(a.get(&[2]), Some(Value::Int(6)), "job {k}");
+            } else {
+                assert_eq!(outcome.return_value, Some(Value::Int(k * 7)), "job {k}");
+            }
+            let EngineStats::Native { stats, .. } = outcome.stats else {
+                panic!("native stats expected");
+            };
+            assert_eq!(stats.pool_id, pool.id());
+            seqs.push(stats.job_seq);
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn a_failing_job_does_not_poison_the_pool() {
+        let bad = compile("def main(n) { a = array(n); a[0] = 1; return a[1]; }").unwrap();
+        let good = compile("def main(n) { return n + 1; }").unwrap();
+        let pool = NativePool::new(2);
+        let opts = RunOptions::with_pes(2);
+        let (bp, bpart) = bad.partitioned(&opts);
+        let (gp, gpart) = good.partitioned(&opts);
+        let bad_handle = pool.submit(bp, &[Value::Int(4)], bpart, opts.page_size, 0);
+        let good_handle = pool.submit(gp, &[Value::Int(4)], gpart, opts.page_size, 0);
+        assert!(bad_handle.wait().is_err());
+        assert_eq!(
+            good_handle.wait().unwrap().return_value,
+            Some(Value::Int(5))
+        );
+        // And the pool still accepts new work after a failure.
+        let (gp2, gpart2) = good.partitioned(&opts);
+        let again = pool.submit(gp2, &[Value::Int(9)], gpart2, opts.page_size, 0);
+        assert_eq!(again.wait().unwrap().return_value, Some(Value::Int(10)));
     }
 }

@@ -1,9 +1,10 @@
 //! The Pingali & Rogers static-compilation estimator engine.
 
-use super::{check_invocation, seq::baseline_snapshots, Engine, EngineOutcome, EngineStats};
+use super::seq::{baseline_snapshots, map_baseline_error};
+use super::{check_invocation, Engine, EngineOutcome, EngineStats};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
-use pods_baseline::{run_sequential, PrModel};
+use pods_baseline::{run_sequential_bounded, PrModel};
 use pods_istructure::Value;
 use pods_machine::TimingModel;
 use std::time::Instant;
@@ -36,7 +37,13 @@ impl Engine for PrEstimateEngine {
     ) -> Result<EngineOutcome, PodsError> {
         check_invocation(program, args)?;
         let start = Instant::now();
-        let run = run_sequential(program.hir(), args, &TimingModel::default())?;
+        let run = run_sequential_bounded(
+            program.hir(),
+            args,
+            &TimingModel::default(),
+            opts.max_events,
+        )
+        .map_err(|e| map_baseline_error(e, opts.max_events))?;
         let point = self.model.estimate(&run, opts.num_pes);
         let wall_us = start.elapsed().as_secs_f64() * 1e6;
         Ok(EngineOutcome {

@@ -3,9 +3,9 @@
 use super::{check_invocation, Engine, EngineOutcome, EngineStats};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
-use pods_baseline::{run_sequential, SequentialRun};
+use pods_baseline::{run_sequential_bounded, BaselineError, SequentialRun};
 use pods_istructure::{ArrayId, Value};
-use pods_machine::{ArraySnapshot, TimingModel};
+use pods_machine::{ArraySnapshot, SimulationError, TimingModel};
 use std::time::Instant;
 
 /// Executes the program with the control-driven sequential interpreter
@@ -14,6 +14,17 @@ use std::time::Instant;
 /// this engine as the oracle the parallel engines must agree with.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SequentialEngine;
+
+/// Maps the interpreter's step-budget exhaustion onto the engines' shared
+/// event-limit error, so `RunOptions::max_events` reports uniformly across
+/// `sim`, `native`, `seq`, and `pr`.
+pub(crate) fn map_baseline_error(err: BaselineError, limit: u64) -> PodsError {
+    if err.is_step_limit() {
+        PodsError::Simulation(SimulationError::EventLimitExceeded { limit })
+    } else {
+        PodsError::Baseline(err)
+    }
+}
 
 /// Converts the interpreter's array states into the uniform snapshot form.
 pub(crate) fn baseline_snapshots(run: &SequentialRun) -> Vec<ArraySnapshot> {
@@ -42,11 +53,17 @@ impl Engine for SequentialEngine {
         &self,
         program: &CompiledProgram,
         args: &[Value],
-        _opts: &RunOptions,
+        opts: &RunOptions,
     ) -> Result<EngineOutcome, PodsError> {
         check_invocation(program, args)?;
         let start = Instant::now();
-        let run = run_sequential(program.hir(), args, &TimingModel::default())?;
+        let run = run_sequential_bounded(
+            program.hir(),
+            args,
+            &TimingModel::default(),
+            opts.max_events,
+        )
+        .map_err(|e| map_baseline_error(e, opts.max_events))?;
         let wall_us = start.elapsed().as_secs_f64() * 1e6;
         Ok(EngineOutcome {
             engine: self.name(),
@@ -94,5 +111,32 @@ mod tests {
             .run(&program, &[Value::Int(3)], &RunOptions::default())
             .unwrap_err();
         assert!(matches!(err, PodsError::Baseline(_)), "{err}");
+    }
+
+    #[test]
+    fn max_events_is_enforced_as_a_statement_budget() {
+        let program =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }")
+                .unwrap();
+        let opts = RunOptions {
+            max_events: 4,
+            ..RunOptions::default()
+        };
+        let err = SequentialEngine
+            .run(&program, &[Value::Int(64)], &opts)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PodsError::Simulation(pods_machine::SimulationError::EventLimitExceeded {
+                    limit: 4
+                })
+            ),
+            "{err}"
+        );
+        // Unlimited by default.
+        assert!(SequentialEngine
+            .run(&program, &[Value::Int(64)], &RunOptions::default())
+            .is_ok());
     }
 }

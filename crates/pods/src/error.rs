@@ -98,7 +98,7 @@ mod tests {
                 got: 1,
             },
             PodsError::Simulation(SimulationError::Runtime("boom".into())),
-            PodsError::Baseline(BaselineError("boom".into())),
+            PodsError::Baseline(BaselineError::Runtime("boom".into())),
             PodsError::UnknownEngine {
                 name: "warp".into(),
             },

@@ -17,8 +17,13 @@
 //!
 //! # Quick start
 //!
+//! Compile once, then execute any number of times on a persistent
+//! [`Runtime`] — the native runtime keeps one work-stealing worker pool
+//! alive across runs, so per-run cost is a job submission, not a thread
+//! spawn:
+//!
 //! ```
-//! use pods::{compile, RunOptions, Value};
+//! use pods::{compile, EngineKind, Runtime, Value};
 //!
 //! let program = compile(
 //!     "def main(n) {
@@ -29,10 +34,23 @@
 //!          return a;
 //!      }",
 //! )?;
-//! let outcome = program.run(&[Value::Int(8)], &RunOptions::with_pes(4))?;
-//! assert!(outcome.result.returned_array().unwrap().is_complete());
+//! let runtime = Runtime::builder(EngineKind::Sim).workers(4).build();
+//! let outcome = runtime.run(&program, &[Value::Int(8)])?;
+//! assert!(outcome.returned_array().unwrap().is_complete());
+//!
+//! // Batched submission: many jobs share one native pool concurrently.
+//! let native = Runtime::builder(EngineKind::Native).workers(2).build();
+//! let args8: &[Value] = &[Value::Int(8)];
+//! let args12: &[Value] = &[Value::Int(12)];
+//! for outcome in native.run_many(&[(&program, args8), (&program, args12)]) {
+//!     assert!(outcome?.returned_array().unwrap().is_complete());
+//! }
 //! # Ok::<(), pods::PodsError>(())
 //! ```
+//!
+//! The pre-`Runtime` entry points ([`CompiledProgram::run`],
+//! [`CompiledProgram::run_on`], [`compile_and_run_on`]) remain as thin
+//! compatibility wrappers; each call builds a throwaway runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,16 +59,18 @@ pub mod engine;
 mod error;
 mod pipeline;
 pub mod report;
+mod runtime;
 
 pub use engine::{
-    engine_by_name, Engine, EngineOutcome, EngineStats, NativeParallelEngine, NativeStats,
-    PrEstimateEngine, SequentialEngine, SimEngine, ENGINE_NAMES,
+    engine_by_name, Engine, EngineKind, EngineOutcome, EngineStats, NativeParallelEngine,
+    NativeStats, PrEstimateEngine, SequentialEngine, SimEngine, ENGINE_NAMES,
 };
 pub use error::PodsError;
 pub use pipeline::{
     compile, compile_and_run, compile_and_run_on, speedup_sweep, speedup_sweep_on,
     speedup_sweep_with, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
 };
+pub use runtime::{JobHandle, Runtime, RuntimeBuilder};
 
 // Re-export the pieces a downstream user needs to drive runs and interpret
 // results without depending on every sub-crate explicitly.

@@ -1,13 +1,16 @@
 //! The end-to-end PODS pipeline: source → HIR → dataflow graphs → SPs →
 //! partitioned SPs → execution (paper Figure 3).
 //!
-//! Execution goes through the [`crate::engine`] layer: the historical
+//! Execution goes through the [`crate::Runtime`] layer: the historical
 //! simulator entry points ([`CompiledProgram::run`], [`compile_and_run`],
 //! [`speedup_sweep`]) are thin wrappers over [`SimEngine`], and the
-//! `*_on` variants select any registered engine by name.
+//! `*_on` variants parse the name into an [`EngineKind`] and run on a
+//! throwaway [`crate::Runtime`]. New code should build one `Runtime` and
+//! reuse it — the native engine's worker pool is only amortised that way.
 
-use crate::engine::{engine_by_name, Engine, EngineOutcome, EngineStats, SimEngine};
+use crate::engine::{Engine, EngineKind, EngineOutcome, EngineStats, SimEngine};
 use crate::error::PodsError;
+use crate::runtime::Runtime;
 use pods_dataflow::{analyze_loops, build_program, DataflowProgram, LoopInfo};
 use pods_idlang::HirProgram;
 use pods_istructure::Value;
@@ -27,7 +30,11 @@ pub struct RunOptions {
     /// Partitioner configuration (distribution, Range Filters, LCD
     /// handling).
     pub partition: PartitionConfig,
-    /// Safety limit on simulation events (0 = unlimited).
+    /// Safety limit on run-time work (0 = unlimited). Every engine
+    /// enforces it against its own unit of progress: `sim` counts
+    /// simulation events, `native` counts task executions, and `seq` / `pr`
+    /// count interpreted statements. Exhaustion is always reported as
+    /// [`pods_machine::SimulationError::EventLimitExceeded`].
     pub max_events: u64,
 }
 
@@ -141,6 +148,11 @@ impl CompiledProgram {
     /// `"seq"`, `"pr"`, `"native"`), returning the uniform
     /// [`EngineOutcome`].
     ///
+    /// Compatibility wrapper: parses the name into an [`EngineKind`] and
+    /// runs on a throwaway [`Runtime`] — for `"native"` that means a fresh
+    /// worker pool per call. Build one [`Runtime`] and reuse it to amortise
+    /// the pool across runs.
+    ///
     /// # Errors
     ///
     /// Returns [`PodsError::UnknownEngine`] for unregistered names, plus
@@ -151,10 +163,17 @@ impl CompiledProgram {
         args: &[Value],
         options: &RunOptions,
     ) -> Result<EngineOutcome, PodsError> {
-        let engine = engine_by_name(engine).ok_or_else(|| PodsError::UnknownEngine {
-            name: engine.to_string(),
-        })?;
-        engine.run(self, args, options)
+        let kind: EngineKind = engine.parse()?;
+        let start = std::time::Instant::now();
+        let runtime = Runtime::with_options(kind, options.clone());
+        let mut outcome = runtime.run(self, args)?;
+        if kind == EngineKind::Native {
+            // The throwaway runtime's pool spawn is part of this call's cost;
+            // report it, as the cold path always has (the modelled engines
+            // measure their own wall-clock and have no pool).
+            outcome.wall_us = start.elapsed().as_secs_f64() * 1e6;
+        }
+        Ok(outcome)
     }
 }
 
@@ -213,7 +232,8 @@ pub fn compile_and_run(
     compile(source)?.run(args, options)
 }
 
-/// Convenience wrapper: compile and run on a named engine in one call.
+/// Convenience wrapper: compile and run on a named engine in one call
+/// (a throwaway [`Runtime`] per call — see [`CompiledProgram::run_on`]).
 ///
 /// # Errors
 ///
@@ -274,10 +294,8 @@ pub fn speedup_sweep_on(
     pe_counts: &[usize],
     base_options: &RunOptions,
 ) -> Result<Vec<SpeedupPoint>, PodsError> {
-    let engine = engine_by_name(engine).ok_or_else(|| PodsError::UnknownEngine {
-        name: engine.to_string(),
-    })?;
-    speedup_sweep_with(engine.as_ref(), program, args, pe_counts, base_options)
+    let kind: EngineKind = engine.parse()?;
+    speedup_sweep_with(kind.engine(), program, args, pe_counts, base_options)
 }
 
 /// [`speedup_sweep`] generalised over any [`Engine`]. Each point compares

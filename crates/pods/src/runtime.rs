@@ -1,0 +1,403 @@
+//! The long-lived execution context of PODS: [`Runtime`], built by
+//! [`RuntimeBuilder`].
+//!
+//! The paper's thesis is that iteration-level parallelism pays off when
+//! spawn overhead is amortised — yet a cold
+//! [`CompiledProgram::run_on`] call spins up a brand-new thread pool, runs
+//! one program, and tears everything down. A `Runtime` separates program
+//! construction from execution the way Timely Dataflow's `execute` layer
+//! does: build it once, then `run` any number of compiled programs (or
+//! argument sets) against the *same* persistent worker pool.
+//!
+//! * [`Runtime::run`] — one program, blocking, on the warm pool.
+//! * [`Runtime::submit`] / [`JobHandle::wait`] — asynchronous submission;
+//!   many jobs can be in flight on one pool at once, each with fully
+//!   isolated per-job state (instance queues, I-structure store, deadlock
+//!   detection).
+//! * [`Runtime::run_many`] — batch form: submit everything, then collect.
+//!
+//! `Runtime` is `Sync`: share `&Runtime` across OS threads and submit from
+//! all of them concurrently.
+//!
+//! ```
+//! use pods::{compile, EngineKind, Runtime, Value};
+//!
+//! let program = compile(
+//!     "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * i; } return a; }",
+//! )?;
+//! let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+//! // Back-to-back runs reuse the same worker threads.
+//! for n in [4, 8, 16] {
+//!     let outcome = runtime.run(&program, &[Value::Int(n)])?;
+//!     assert!(outcome.returned_array().unwrap().is_complete());
+//! }
+//! # Ok::<(), pods::PodsError>(())
+//! ```
+
+use crate::engine::{check_invocation, EngineKind, EngineOutcome, NativeJobHandle, NativePool};
+use crate::error::PodsError;
+use crate::pipeline::{CompiledProgram, RunOptions};
+use pods_istructure::Value;
+use pods_partition::PartitionConfig;
+
+/// Configures and builds a [`Runtime`].
+///
+/// The builder absorbs everything that used to travel in an ad-hoc
+/// [`RunOptions`] value: engine kind, worker/PE count, page size, the
+/// remote-page cache switch, partitioner configuration, and the task/event
+/// safety limit.
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    kind: EngineKind,
+    opts: RunOptions,
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder for the given engine kind. Workers default to the
+    /// host's available parallelism; everything else defaults to the
+    /// paper's values ([`RunOptions::default`]).
+    pub fn new(kind: EngineKind) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        RuntimeBuilder {
+            kind,
+            opts: RunOptions::with_pes(workers),
+        }
+    }
+
+    /// Number of worker threads (native) or simulated PEs (sim/pr). Clamped
+    /// to at least one.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.num_pes = workers.max(1);
+        self
+    }
+
+    /// Array page size in elements (paper default: 32).
+    pub fn page_size(mut self, page_size: usize) -> Self {
+        self.opts.page_size = page_size.max(1);
+        self
+    }
+
+    /// Enables or disables the software cache for remote pages (sim only).
+    pub fn remote_page_cache(mut self, enabled: bool) -> Self {
+        self.opts.remote_page_cache = enabled;
+        self
+    }
+
+    /// Partitioner configuration (distribution, Range Filters, LCD
+    /// handling).
+    pub fn partition(mut self, partition: PartitionConfig) -> Self {
+        self.opts.partition = partition;
+        self
+    }
+
+    /// Safety limit on simulation events / native task executions /
+    /// interpreted statements (0 = unlimited). See
+    /// [`RunOptions::max_events`] for what each engine counts.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.opts.max_events = max_events;
+        self
+    }
+
+    /// Replaces the whole option block at once (for callers that already
+    /// hold a [`RunOptions`], e.g. the compatibility wrappers).
+    pub fn options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Builds the runtime. For [`EngineKind::Native`] this spawns the
+    /// persistent worker pool immediately, so the first `run` is already
+    /// warm.
+    pub fn build(self) -> Runtime {
+        let pool = match self.kind {
+            EngineKind::Native => Some(NativePool::new(self.opts.num_pes)),
+            _ => None,
+        };
+        Runtime {
+            kind: self.kind,
+            opts: self.opts,
+            pool,
+        }
+    }
+}
+
+/// A persistent, typed execution context.
+///
+/// For [`EngineKind::Native`] the runtime owns a work-stealing worker pool
+/// that stays alive across `run` calls — per-run cost is one job
+/// submission, not a pool spawn. For the modelled engines (`sim`, `seq`,
+/// `pr`) the runtime is a thin, allocation-free front over the static
+/// engine registry (those engines are single-threaded models with no pool
+/// to keep warm).
+///
+/// Dropping the runtime joins the worker threads; outstanding jobs —
+/// queued or in flight — are cut short at the next instruction boundary
+/// and fail with a cancellation error rather than hanging their waiters.
+pub struct Runtime {
+    kind: EngineKind,
+    opts: RunOptions,
+    pool: Option<NativePool>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("kind", &self.kind)
+            .field("workers", &self.opts.num_pes)
+            .field("pool_id", &self.pool.as_ref().map(NativePool::id))
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// A runtime of the given kind with default configuration (workers =
+    /// available parallelism, paper-default options).
+    pub fn new(kind: EngineKind) -> Runtime {
+        RuntimeBuilder::new(kind).build()
+    }
+
+    /// Starts a [`RuntimeBuilder`] for the given kind.
+    pub fn builder(kind: EngineKind) -> RuntimeBuilder {
+        RuntimeBuilder::new(kind)
+    }
+
+    /// A runtime that executes with exactly the given options (the
+    /// compatibility path used by [`CompiledProgram::run_on`]).
+    pub fn with_options(kind: EngineKind, opts: RunOptions) -> Runtime {
+        RuntimeBuilder::new(kind).options(opts).build()
+    }
+
+    /// The engine kind this runtime executes on.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The effective run options.
+    pub fn options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    /// Number of workers (native threads or simulated PEs).
+    pub fn workers(&self) -> usize {
+        self.opts.num_pes
+    }
+
+    /// Process-unique identity of the native worker pool, if this runtime
+    /// owns one (compare against
+    /// [`crate::NativeStats::pool_id`] to verify reuse).
+    pub fn pool_id(&self) -> Option<u64> {
+        self.pool.as_ref().map(NativePool::id)
+    }
+
+    /// Runs one program to completion on this runtime (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PodsError`] for malformed invocations and run-time
+    /// failures, exactly like the underlying engine.
+    pub fn run(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+    ) -> Result<EngineOutcome, PodsError> {
+        self.submit(program, args)?.wait()
+    }
+
+    /// Submits one program for execution and returns a [`JobHandle`].
+    ///
+    /// On the native runtime the job executes asynchronously on the shared
+    /// pool: submit many jobs before waiting on any of them and they run
+    /// concurrently, each with isolated per-job state. On the modelled
+    /// engines the job runs eagerly on the calling thread (they are
+    /// single-threaded models; there is no pool to hand them to) and the
+    /// handle is immediately ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PodsError::MissingEntry`] / [`PodsError::ArgumentMismatch`]
+    /// for malformed invocations; run-time failures surface at
+    /// [`JobHandle::wait`].
+    pub fn submit(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+    ) -> Result<JobHandle, PodsError> {
+        check_invocation(program, args)?;
+        match &self.pool {
+            Some(pool) => {
+                let (partitioned, partition) = program.partitioned(&self.opts);
+                let handle = pool.submit(
+                    partitioned,
+                    args,
+                    partition,
+                    self.opts.page_size,
+                    self.opts.max_events,
+                );
+                Ok(JobHandle {
+                    inner: JobInner::Native(handle),
+                })
+            }
+            None => Ok(JobHandle {
+                inner: JobInner::Ready(Box::new(self.kind.engine().run(program, args, &self.opts))),
+            }),
+        }
+    }
+
+    /// Runs a batch of jobs — `(program, args)` pairs — and returns their
+    /// outcomes in submission order. On the native runtime all jobs are
+    /// submitted before any is waited on, so they execute concurrently on
+    /// the shared pool.
+    pub fn run_many(
+        &self,
+        jobs: &[(&CompiledProgram, &[Value])],
+    ) -> Vec<Result<EngineOutcome, PodsError>> {
+        let handles: Vec<Result<JobHandle, PodsError>> = jobs
+            .iter()
+            .map(|(program, args)| self.submit(program, args))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.and_then(JobHandle::wait))
+            .collect()
+    }
+}
+
+/// What a submitted job resolves to.
+enum JobInner {
+    /// The outcome is already available (modelled engines run eagerly).
+    Ready(Box<Result<EngineOutcome, PodsError>>),
+    /// A native job in flight on the pool.
+    Native(NativeJobHandle),
+}
+
+/// A handle to one submitted job on a [`Runtime`].
+pub struct JobHandle {
+    inner: JobInner,
+}
+
+impl JobHandle {
+    /// Whether the job has already completed (successfully or not).
+    /// `wait` will not block once this returns `true`.
+    pub fn is_done(&self) -> bool {
+        match &self.inner {
+            JobInner::Ready(_) => true,
+            JobInner::Native(handle) => handle.is_done(),
+        }
+    }
+
+    /// Blocks until the job completes and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the engine reported for this job — errors are
+    /// job-scoped and never poison the pool or other jobs.
+    pub fn wait(self) -> Result<EngineOutcome, PodsError> {
+        match self.inner {
+            JobInner::Ready(outcome) => *outcome,
+            JobInner::Native(handle) => handle.wait(),
+        }
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineStats;
+    use crate::pipeline::compile;
+
+    fn native_stats(outcome: &EngineOutcome) -> crate::engine::NativeStats {
+        match &outcome.stats {
+            EngineStats::Native { stats, .. } => *stats,
+            other => panic!("expected native stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_configures_all_knobs() {
+        let runtime = Runtime::builder(EngineKind::Sim)
+            .workers(3)
+            .page_size(16)
+            .remote_page_cache(false)
+            .max_events(10_000)
+            .build();
+        assert_eq!(runtime.kind(), EngineKind::Sim);
+        assert_eq!(runtime.workers(), 3);
+        assert_eq!(runtime.options().page_size, 16);
+        assert!(!runtime.options().remote_page_cache);
+        assert_eq!(runtime.options().max_events, 10_000);
+        assert_eq!(runtime.pool_id(), None);
+        assert!(format!("{runtime:?}").contains("Sim"));
+    }
+
+    #[test]
+    fn sequential_runs_share_one_pool() {
+        let program =
+            compile("def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i + 1; } return a; }")
+                .unwrap();
+        let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+        let first = runtime.run(&program, &[Value::Int(8)]).unwrap();
+        let second = runtime.run(&program, &[Value::Int(12)]).unwrap();
+        let (s1, s2) = (native_stats(&first), native_stats(&second));
+        assert_eq!(s1.pool_id, runtime.pool_id().unwrap());
+        assert_eq!(s1.pool_id, s2.pool_id, "pool was not reused");
+        assert_eq!(s1.job_seq, 1);
+        assert_eq!(s2.job_seq, 2);
+        assert!(second.returned_array().unwrap().is_complete());
+    }
+
+    #[test]
+    fn modelled_engines_run_through_the_runtime_too() {
+        let program = compile("def main(n) { return n * 3; }").unwrap();
+        for kind in [EngineKind::Sim, EngineKind::Seq, EngineKind::Pr] {
+            let runtime = Runtime::builder(kind).workers(2).build();
+            let handle = runtime.submit(&program, &[Value::Int(5)]).unwrap();
+            assert!(handle.is_done(), "{kind}: modelled jobs are eager");
+            let outcome = handle.wait().unwrap();
+            assert_eq!(outcome.return_value, Some(Value::Int(15)), "{kind}");
+            assert_eq!(outcome.engine, kind.name());
+        }
+    }
+
+    #[test]
+    fn run_many_executes_batches_with_mixed_outcomes() {
+        let good = compile("def main(n) { return n + 1; }").unwrap();
+        let bad = compile("def main(n) { a = array(n); a[0] = 1; return a[1]; }").unwrap();
+        let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+        let args3: &[Value] = &[Value::Int(3)];
+        let args9: &[Value] = &[Value::Int(9)];
+        let results = runtime.run_many(&[(&good, args3), (&bad, args3), (&good, args9)]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].as_ref().unwrap().return_value,
+            Some(Value::Int(4))
+        );
+        assert!(results[1].is_err(), "deadlock job must fail alone");
+        assert_eq!(
+            results[2].as_ref().unwrap().return_value,
+            Some(Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn invocation_errors_surface_at_submit() {
+        let program = compile("def main(n) { return n; }").unwrap();
+        let runtime = Runtime::new(EngineKind::Native);
+        assert!(matches!(
+            runtime.submit(&program, &[]),
+            Err(PodsError::ArgumentMismatch {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+}

@@ -9,7 +9,7 @@
 //! * the SP instruction set ([`Instr`], [`Operand`], [`SlotId`]),
 //! * SP templates and programs ([`SpTemplate`], [`SpProgram`]), including the
 //!   loop metadata the partitioner uses to insert Range Filters, and
-//! * the translator from the `idlang` HIR to SP templates ([`translate`]),
+//! * the translator from the `idlang` HIR to SP templates ([`translate()`]),
 //!   which makes each function and each loop-nest level a separate SP.
 //!
 //! # Example

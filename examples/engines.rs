@@ -1,13 +1,14 @@
-//! The engine matrix: one program, four executors behind one trait.
+//! The engine matrix: one program, four executors behind one typed enum.
 //!
-//! Runs the FILL workload through every registered engine and prints what
-//! each engine measured — simulated time for the machine simulator and the
-//! cost models, wall-clock time for the native thread pool — together with
-//! a correctness digest so the agreement is visible.
+//! Builds a [`pods::Runtime`] per [`pods::EngineKind`], runs the FILL
+//! workload through each, and prints what each engine measured — simulated
+//! time for the machine simulator and the cost models, wall-clock time for
+//! the native thread pool — together with a correctness digest so the
+//! agreement is visible.
 //!
 //! Run with: `cargo run --release --example engines [n] [pes]`
 
-use pods::{RunOptions, Value, ENGINE_NAMES};
+use pods::{EngineKind, Runtime, Value};
 
 fn main() -> Result<(), pods::PodsError> {
     let args: Vec<String> = std::env::args().collect();
@@ -20,8 +21,9 @@ fn main() -> Result<(), pods::PodsError> {
         "{:>8} | {:>16} | {:>14} | {:>10} | a[1,2]",
         "engine", "modelled (ms)", "wall (ms)", "written"
     );
-    for name in ENGINE_NAMES {
-        let outcome = program.run_on(name, &[Value::Int(n)], &RunOptions::with_pes(pes))?;
+    for kind in EngineKind::ALL {
+        let runtime = Runtime::builder(kind).workers(pes).build();
+        let outcome = runtime.run(&program, &[Value::Int(n)])?;
         let array = outcome.returned_array().expect("FILL returns its array");
         println!(
             "{:>8} | {:>16} | {:>14.3} | {:>10} | {:?}",
@@ -36,9 +38,8 @@ fn main() -> Result<(), pods::PodsError> {
         );
     }
     println!();
-    for name in ENGINE_NAMES {
-        let engine = pods::engine_by_name(name).expect("registered");
-        println!("{name:>8}: {}", engine.description());
+    for kind in EngineKind::ALL {
+        println!("{:>8}: {}", kind.name(), kind.engine().description());
     }
     Ok(())
 }

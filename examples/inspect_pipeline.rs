@@ -55,5 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "--- DOT graph ({} bytes, pipe into `dot -Tpng`) ---",
         dot.len()
     );
+
+    // Hand the same source to the top-level pipeline and execute it on a
+    // native Runtime, closing the loop from artifacts to real threads.
+    let compiled = pods::compile(source)?;
+    let runtime = pods::Runtime::builder(pods::EngineKind::Native)
+        .workers(2)
+        .build();
+    let outcome = runtime.run(&compiled, &[])?;
+    println!("--- native runtime ---");
+    println!(
+        "ran on {} pooled workers in {:.3} ms wall-clock, return = {:?}",
+        runtime.workers(),
+        outcome.wall_us / 1000.0,
+        outcome.return_value
+    );
     Ok(())
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example matmul [n]`
 
-use pods::{RunOptions, Value};
+use pods::{EngineKind, Runtime, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: i64 = std::env::args()
@@ -15,12 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = pods::compile(pods_workloads::MATMUL)?;
 
     // Reference run: the sequential oracle engine.
-    let reference = program.run_on("seq", &[Value::Int(n)], &RunOptions::default())?;
+    let reference = Runtime::new(EngineKind::Seq).run(&program, &[Value::Int(n)])?;
     let expected = reference.array("c").expect("c").to_f64(f64::NAN);
 
-    for engine in ["sim", "native"] {
+    for kind in [EngineKind::Sim, EngineKind::Native] {
         for pes in [1usize, 8] {
-            let outcome = program.run_on(engine, &[Value::Int(n)], &RunOptions::with_pes(pes))?;
+            let runtime = Runtime::builder(kind).workers(pes).build();
+            let outcome = runtime.run(&program, &[Value::Int(n)])?;
             let c = outcome.array("c").expect("c");
             let got = c.to_f64(f64::NAN);
             let max_err = expected
@@ -33,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => format!("wall-clock {:.3} ms", outcome.wall_us / 1000.0),
             };
             println!(
-                "{n}x{n} matmul, engine {engine} on {pes} PE(s): {time}, max |err| = {max_err:.3e}"
+                "{n}x{n} matmul, engine {kind} on {pes} PE(s): {time}, max |err| = {max_err:.3e}"
             );
             assert!(max_err < 1e-9, "results diverged from the reference");
         }

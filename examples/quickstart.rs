@@ -1,9 +1,11 @@
 //! Quickstart: compile a small declarative program, run it through the full
-//! PODS pipeline on a 4-PE simulated machine, and inspect the results.
+//! PODS pipeline on a 4-PE simulated machine, and inspect the results —
+//! then run the same compiled program repeatedly on a persistent native
+//! [`Runtime`] whose worker pool is reused across runs.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pods::{compile, RunOptions, Unit, Value};
+use pods::{compile, EngineKind, EngineStats, RunOptions, Runtime, Unit, Value};
 
 fn main() -> Result<(), pods::PodsError> {
     // The running example of §3 of the paper, slightly enlarged: fill a
@@ -49,15 +51,24 @@ fn main() -> Result<(), pods::PodsError> {
         println!("  loop {}: {:?}", loop_report.key, loop_report.decision);
     }
 
-    // The same compiled program runs unchanged on real threads: the native
-    // engine executes the partitioned SPs on a work-stealing pool.
-    let native = program.run_on("native", &[Value::Int(16)], &RunOptions::with_pes(4))?;
-    let native_array = native.returned_array().expect("array result");
-    println!(
-        "native engine (4 workers): {} of {} elements written in {:.3} ms wall-clock",
-        native_array.written(),
-        native_array.values.len(),
-        native.wall_us / 1000.0
-    );
+    // The same compiled program runs unchanged on real threads: a native
+    // Runtime owns a persistent work-stealing pool, so back-to-back runs
+    // (different problem sizes here) reuse the same worker threads.
+    let runtime = Runtime::builder(EngineKind::Native).workers(4).build();
+    for n in [8i64, 16, 24] {
+        let native = runtime.run(&program, &[Value::Int(n)])?;
+        let native_array = native.returned_array().expect("array result");
+        let EngineStats::Native { stats, .. } = native.stats else {
+            unreachable!("native runtime reports native stats");
+        };
+        println!(
+            "native runtime (4 workers, pool {} job {}): n={n}, {} of {} elements in {:.3} ms wall-clock",
+            stats.pool_id,
+            stats.job_seq,
+            native_array.written(),
+            native_array.values.len(),
+            native.wall_us / 1000.0
+        );
+    }
     Ok(())
 }

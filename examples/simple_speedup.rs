@@ -8,13 +8,14 @@
 //!
 //! Run with: `cargo run --release --example simple_speedup [mesh] [max_pes] [engine]`
 
-use pods::{report, RunOptions, Value};
+use pods::{report, EngineKind, RunOptions, Value};
 
 fn main() -> Result<(), pods::PodsError> {
     let args: Vec<String> = std::env::args().collect();
     let mesh: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let max_pes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let engine: &str = args.get(3).map(String::as_str).unwrap_or("sim");
+    // Typed engine selection: an unknown name errors loudly up front.
+    let engine: EngineKind = args.get(3).map(String::as_str).unwrap_or("sim").parse()?;
 
     let program = pods::compile(pods_workloads::simple::SIMPLE)?;
     let mut pe_counts = vec![1usize];
@@ -24,7 +25,7 @@ fn main() -> Result<(), pods::PodsError> {
 
     println!("SIMPLE {mesh}x{mesh}: one Lagrangian time step (velocity/position, hydrodynamics, conduction)");
     let points = pods::speedup_sweep_on(
-        engine,
+        engine.name(),
         &program,
         &[Value::Int(mesh as i64)],
         &pe_counts,

@@ -4,8 +4,12 @@
 //! interpreter acts as the oracle). This is the safety net that lets the
 //! engines evolve independently: a scheduling bug in the native thread pool
 //! or a protocol bug in the simulator shows up as a cross-engine diff.
+//!
+//! Runs go through the typed [`Runtime`] API (one runtime per engine kind
+//! and machine size), which also exercises the persistent native pool on
+//! every workload.
 
-use pods::{RunOptions, Value, ENGINE_NAMES};
+use pods::{EngineKind, RunOptions, Runtime, Value};
 
 /// The workload matrix: name, source, args, and a small machine-size sweep.
 fn workloads() -> Vec<(&'static str, &'static str, Vec<Value>)> {
@@ -35,14 +39,18 @@ fn values_close(a: f64, b: f64) -> bool {
 /// checks full agreement with the sequential oracle.
 fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[usize]) {
     let program = pods::compile(source).unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
-    let oracle = program
-        .run_on("seq", args, &RunOptions::default())
+    let oracle = Runtime::with_options(EngineKind::Seq, RunOptions::default())
+        .run(&program, args)
         .unwrap_or_else(|e| panic!("{name}: oracle run failed: {e}"));
 
-    for engine in ENGINE_NAMES {
+    for kind in EngineKind::ALL {
+        let engine = kind.name();
+        // One runtime per (engine, machine size): the native pool is reused
+        // across every workload size swept below.
         for &pes in pe_counts {
-            let outcome = program
-                .run_on(engine, args, &RunOptions::with_pes(pes))
+            let runtime = Runtime::builder(kind).workers(pes).build();
+            let outcome = runtime
+                .run(&program, args)
                 .unwrap_or_else(|e| panic!("{name}: engine `{engine}` on {pes} PEs failed: {e}"));
 
             // Return values agree. Array references are compared through
@@ -177,16 +185,16 @@ fn native_engine_speeds_up_on_multicore_hosts() {
     let program = pods::compile(pods_workloads::FILL).unwrap();
     let args = [Value::Int(96)];
 
-    // Best of several runs: one clean sample is enough to demonstrate the
-    // available parallelism, and the minimum is robust to scheduler noise.
+    // Best of several runs on a persistent Runtime (pool spawn excluded —
+    // the speed-up under measurement is the execution, not the setup): one
+    // clean sample is enough to demonstrate the available parallelism, and
+    // the minimum is robust to scheduler noise.
     let best = |workers: usize| -> f64 {
+        let runtime = Runtime::builder(EngineKind::Native)
+            .workers(workers)
+            .build();
         (0..5)
-            .map(|_| {
-                program
-                    .run_on("native", &args, &RunOptions::with_pes(workers))
-                    .unwrap()
-                    .wall_us
-            })
+            .map(|_| runtime.run(&program, &args).unwrap().wall_us)
             .fold(f64::MAX, f64::min)
     };
 

@@ -118,6 +118,38 @@ proptest! {
         let _ = pods_idlang::compile(&src);
     }
 
+    /// `EngineKind` parse/display round-trips over every canonical name and
+    /// alias, in any character casing, and `Display` always prints the
+    /// canonical name.
+    #[test]
+    fn engine_kind_parse_display_roundtrip(pick in 0usize..1000, upper_mask in 0u32..256) {
+        let spellings: Vec<(pods::EngineKind, &str)> = pods::EngineKind::ALL
+            .into_iter()
+            .flat_map(|k| k.aliases().iter().map(move |a| (k, *a)))
+            .collect();
+        let (kind, alias) = spellings[pick % spellings.len()];
+        // Re-case the alias with an arbitrary upper/lower mask.
+        let mixed: String = alias
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if upper_mask & (1 << (i % 8)) != 0 {
+                    c.to_ascii_uppercase()
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect();
+        let parsed: pods::EngineKind = mixed.parse().unwrap();
+        prop_assert_eq!(parsed, kind);
+        // Display emits the canonical name, which parses back to the kind.
+        let canonical = parsed.to_string();
+        prop_assert_eq!(canonical.as_str(), kind.name());
+        prop_assert_eq!(canonical.parse::<pods::EngineKind>().unwrap(), kind);
+        // And the canonical name is the first alias.
+        prop_assert_eq!(kind.aliases()[0], kind.name());
+    }
+
     /// Compiling and simulating a generated "fill a vector with an affine
     /// function" program yields exactly the expected values on 1 and 4 PEs.
     #[test]
