@@ -1,9 +1,19 @@
 //! Engine comparison: SimEngine vs NativeParallelEngine wall-clock on the
 //! FILL and SIMPLE workloads at 1/2/4/8 workers, through the shared
-//! `Engine` trait — plus the `runtime_reuse` group, which measures the
-//! amortisation win of a persistent `pods::Runtime` (one warm worker pool
-//! across N back-to-back runs) over N cold `run_on` calls (a fresh pool
-//! spawned and joined per run).
+//! `Engine` trait — plus three warm-path groups:
+//!
+//! * `runtime_reuse` — a persistent `pods::Runtime` (one warm worker pool
+//!   across N back-to-back runs) vs N cold `run_on` calls (a fresh pool
+//!   spawned and joined per run);
+//! * `prepared_reuse` — warm runs submitting a `PreparedProgram` handle
+//!   (clone/partition/read-slot tables amortised to one `prepare`) vs warm
+//!   runs on a cache-disabled runtime that re-prepares every submission
+//!   (the pre-cache warm path);
+//! * `delivery_batch` — warm runs with batched wake-up delivery (16
+//!   wake-ups per scheduler transaction) vs unbatched (one transaction per
+//!   wake-up) on a read-heavy gather, with the per-job wake-up/flush
+//!   counters recorded alongside the timings (the lock-traffic reduction is
+//!   core-count-independent, unlike the wall-clock).
 //!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! snapshot to `BENCH_engines.json` at the repository root (override with
@@ -16,7 +26,24 @@
 //! with N up to the host's core count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pods::{EngineKind, RunOptions, Runtime, Value};
+use pods::{EngineKind, EngineStats, RunOptions, Runtime, Value};
+
+/// A read-heavy gather with `k` split-phase probe calls: every probe
+/// instance parks on an unwritten element, then the producer loop's writes
+/// wake all of them from one task — the paper's token-routing-batch
+/// scenario rendered as a workload. The sum is right-nested so no add needs
+/// a return value until every probe is in flight (an intermediate
+/// assignment would serialise the calls).
+fn gather_source(k: usize) -> String {
+    let mut expr = format!("probe(a, {})", k - 1);
+    for i in (0..k - 1).rev() {
+        expr = format!("probe(a, {i}) + ({expr})");
+    }
+    format!(
+        "def main(n) {{\n    a = array(n);\n    for i = 0 to n - 1 {{ a[i] = i * 3; }}\n    \
+         return {expr};\n}}\ndef probe(a, i) {{ return a[i] + 1; }}\n"
+    )
+}
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ENGINES: [&str; 2] = ["sim", "native"];
@@ -109,6 +136,105 @@ fn bench_engines(c: &mut Criterion) {
         ));
     }
     group.finish();
+
+    // prepared_reuse: N warm runs per iteration on one persistent runtime,
+    // submitting a PreparedProgram handle (setup amortised to one
+    // `prepare`) vs a cache-disabled runtime that re-clones, re-partitions,
+    // and rebuilds read-slot tables on every submission — the warm path as
+    // it was before the prepared-program cache. Small problem sizes keep
+    // per-run setup visible next to execution, mirroring fine-grained
+    // iterative jobs.
+    const PREP_RUNS: usize = 8;
+    for (workload, source, n) in [
+        ("fill", pods_workloads::FILL, 8i64),
+        ("simple", pods_workloads::simple::SIMPLE, 4),
+    ] {
+        let program = pods::compile(source).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("prepared_reuse_{workload}_{n}"));
+        for mode in ["prepared-handle", "reprepare-every-run"] {
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(mode, reuse_workers),
+                &reuse_workers,
+                |b, &workers| {
+                    match mode {
+                        "prepared-handle" => {
+                            let runtime = Runtime::builder(EngineKind::Native)
+                                .workers(workers)
+                                .build();
+                            let prepared = runtime.prepare(&program);
+                            b.iter(|| {
+                                for _ in 0..PREP_RUNS {
+                                    runtime.run(&prepared, &[Value::Int(n)]).expect("bench run");
+                                }
+                            });
+                        }
+                        _ => {
+                            let runtime = Runtime::builder(EngineKind::Native)
+                                .workers(workers)
+                                .prepared_cache_capacity(0)
+                                .build();
+                            b.iter(|| {
+                                for _ in 0..PREP_RUNS {
+                                    runtime.run(&program, &[Value::Int(n)]).expect("bench run");
+                                }
+                            });
+                        }
+                    }
+                    mean_us = b.mean_ns / 1e3 / PREP_RUNS as f64;
+                },
+            );
+            rows.push_str(&format!(
+                ",\n    {{\"workload\": \"{workload}\", \"n\": {n}, \"engine\": \"{mode}\", \
+                 \"workers\": {reuse_workers}, \"mean_wall_us\": {mean_us:.1}}}"
+            ));
+        }
+        group.finish();
+    }
+
+    // delivery_batch: warm prepared runs of the read-heavy gather with
+    // unbatched (1) vs batched (16) wake-up delivery. One worker keeps the
+    // schedule deterministic (every probe defers before the producer runs).
+    // Wall-clock is reported per run; the wake-up/flush counters from one
+    // extra run are recorded too, because the scheduler-lock reduction they
+    // show is independent of host core count and scheduler noise.
+    {
+        let (workload, n) = ("gather", 64i64);
+        let batch_workers = 1usize;
+        let program = pods::compile(&gather_source(n as usize)).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("delivery_batch_{workload}_{n}"));
+        for batch in [1usize, 16] {
+            let runtime = Runtime::builder(EngineKind::Native)
+                .workers(batch_workers)
+                .delivery_batch(batch)
+                .build();
+            let prepared = runtime.prepare(&program);
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch-{batch}"), batch_workers),
+                &batch_workers,
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..PREP_RUNS {
+                            runtime.run(&prepared, &[Value::Int(n)]).expect("bench run");
+                        }
+                    });
+                    mean_us = b.mean_ns / 1e3 / PREP_RUNS as f64;
+                },
+            );
+            let outcome = runtime.run(&prepared, &[Value::Int(n)]).expect("stats run");
+            let EngineStats::Native { stats, .. } = outcome.stats else {
+                panic!("native stats expected");
+            };
+            rows.push_str(&format!(
+                ",\n    {{\"workload\": \"{workload}\", \"n\": {n}, \"engine\": \"batch-{batch}\", \
+                 \"workers\": {batch_workers}, \"mean_wall_us\": {mean_us:.1}, \
+                 \"wakeups\": {}, \"wakeup_flushes\": {}}}",
+                stats.wakeups, stats.wakeup_flushes
+            ));
+        }
+        group.finish();
+    }
 
     let out = format!(
         "{{\n  \"bench\": \"engines\",\n  \"host_parallelism\": {host_parallelism},\n  \

@@ -130,6 +130,33 @@ impl<T> SharedArray<T> {
         }
     }
 
+    /// Bulk-delivery form of [`SharedArray::write`]: writes the element and
+    /// appends each deferred waiter, paired with the written value, to
+    /// `sink`. Returns how many waiters were appended.
+    ///
+    /// This is the primitive behind batched wake-up delivery: a writer that
+    /// fills many elements in one task accumulates all the `(waiter, value)`
+    /// wake-ups in one reusable buffer and re-activates them in a single
+    /// scheduler transaction, instead of paying a scheduler-lock round trip
+    /// per write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IStructureError::SingleAssignment`] on a second write and
+    /// [`IStructureError::OutOfBounds`] for offsets past the end; `sink` is
+    /// untouched on error.
+    pub fn write_into(
+        &self,
+        offset: usize,
+        value: Value,
+        sink: &mut Vec<(T, Value)>,
+    ) -> Result<usize, IStructureError> {
+        let waiters = self.write(offset, value)?;
+        let n = waiters.len();
+        sink.extend(waiters.into_iter().map(|w| (w, value)));
+        Ok(n)
+    }
+
     /// Snapshot of every element (`None` = never written), row-major.
     pub fn snapshot(&self) -> Vec<Option<Value>> {
         self.cells
@@ -291,6 +318,37 @@ mod tests {
         ));
         assert_eq!(a.peek(3), Some(Value::Int(9)));
         assert_eq!(a.peek(4), None);
+    }
+
+    #[test]
+    fn write_into_appends_waiter_value_pairs_without_allocating_per_write() {
+        let s = store();
+        let a = s.require(ArrayId(0)).unwrap();
+        assert_eq!(a.read(0, 1).unwrap(), SharedReadResult::Deferred);
+        assert_eq!(a.read(0, 2).unwrap(), SharedReadResult::Deferred);
+        assert_eq!(a.read(5, 3).unwrap(), SharedReadResult::Deferred);
+        let mut sink = Vec::new();
+        assert_eq!(a.write_into(0, Value::Int(10), &mut sink).unwrap(), 2);
+        assert_eq!(a.write_into(4, Value::Int(40), &mut sink).unwrap(), 0);
+        assert_eq!(a.write_into(5, Value::Int(50), &mut sink).unwrap(), 1);
+        assert_eq!(
+            sink,
+            vec![
+                (1, Value::Int(10)),
+                (2, Value::Int(10)),
+                (3, Value::Int(50))
+            ]
+        );
+        // Errors leave the sink untouched.
+        assert!(matches!(
+            a.write_into(0, Value::Int(1), &mut sink),
+            Err(IStructureError::SingleAssignment { .. })
+        ));
+        assert!(matches!(
+            a.write_into(999, Value::Int(1), &mut sink),
+            Err(IStructureError::OutOfBounds { .. })
+        ));
+        assert_eq!(sink.len(), 3);
     }
 
     #[test]

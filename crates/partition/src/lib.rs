@@ -43,7 +43,7 @@ use pods_sp::{Instr, LoopMeta, Operand, SpId, SpKind, SpProgram, SpTemplate};
 
 /// Configuration of the partitioning pass, mostly useful for ablation
 /// studies (every switch defaults to the paper's behaviour).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartitionConfig {
     /// Convert array allocations into distributing allocates.
     pub distribute_allocations: bool,

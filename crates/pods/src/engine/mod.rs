@@ -51,7 +51,7 @@ mod pr;
 mod seq;
 mod sim;
 
-pub(crate) use native::{NativeJobHandle, NativePool};
+pub(crate) use native::{build_read_slots, JobSpec, NativeJobHandle, NativePool, ReadSlots};
 pub use native::{NativeParallelEngine, NativeStats};
 pub use pr::PrEstimateEngine;
 pub use seq::SequentialEngine;
@@ -269,9 +269,19 @@ impl EngineKind {
     /// # Errors
     ///
     /// Returns [`PodsError::UnknownEngine`] when the variable is set to a
-    /// name no engine answers to (or to non-UTF-8 bytes).
+    /// name no engine answers to (or to non-UTF-8 bytes); the error message
+    /// lists every valid engine name and alias, so a typo in `PODS_ENGINE`
+    /// tells the user what would have worked.
     pub fn from_env() -> Result<EngineKind, PodsError> {
-        match std::env::var("PODS_ENGINE") {
+        EngineKind::from_env_value(std::env::var("PODS_ENGINE"))
+    }
+
+    /// The pure core of [`EngineKind::from_env`], split out so the
+    /// name-resolution and error-message behaviour is unit-testable without
+    /// mutating the process environment (which is unsound under the
+    /// multi-threaded test harness).
+    fn from_env_value(var: Result<String, std::env::VarError>) -> Result<EngineKind, PodsError> {
+        match var {
             Ok(name) => name.parse(),
             Err(std::env::VarError::NotPresent) => Ok(EngineKind::Sim),
             Err(std::env::VarError::NotUnicode(raw)) => Err(PodsError::UnknownEngine {
@@ -355,6 +365,52 @@ mod tests {
             "warp-drive".parse::<EngineKind>(),
             Err(PodsError::UnknownEngine { name }) if name == "warp-drive"
         ));
+    }
+
+    #[test]
+    fn unknown_engine_errors_list_every_valid_name_and_alias() {
+        let err = "warp-drive".parse::<EngineKind>().unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("warp-drive"), "{message}");
+        for kind in EngineKind::ALL {
+            for alias in kind.aliases() {
+                assert!(
+                    message.contains(alias),
+                    "error message must list `{alias}`: {message}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_env_rejects_unknown_names_with_the_full_engine_list() {
+        // `from_env` is the one place CLIs read PODS_ENGINE; a typo there
+        // must name every accepted spelling. Tested through the pure core
+        // (no process-environment mutation under the threaded harness).
+        let err = EngineKind::from_env_value(Ok("hypercube".into())).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            matches!(err, PodsError::UnknownEngine { ref name } if name == "hypercube"),
+            "{err:?}"
+        );
+        for name in ENGINE_NAMES {
+            assert!(
+                message.contains(name),
+                "from_env error must list `{name}`: {message}"
+            );
+        }
+        assert!(message.contains("threads"), "{message}");
+        assert!(message.contains("simulator"), "{message}");
+
+        // Default and alias resolution through the same core.
+        assert_eq!(
+            EngineKind::from_env_value(Err(std::env::VarError::NotPresent)).unwrap(),
+            EngineKind::Sim
+        );
+        assert_eq!(
+            EngineKind::from_env_value(Ok("THREADS".into())).unwrap(),
+            EngineKind::Native
+        );
     }
 
     #[test]

@@ -42,6 +42,30 @@
 //! The one-shot [`NativeParallelEngine`] (the `Engine`-trait cold path)
 //! simply creates a transient pool, submits one job, waits, and tears the
 //! pool down — [`crate::Runtime::run`] is the amortised path.
+//!
+//! # Warm-path cost model
+//!
+//! Three further overheads are amortised so that a warm run pays only for
+//! job execution, not job setup (the paper batches token routing — ~20
+//! tokens per message — for exactly this reason):
+//!
+//! * **Shared program state** ([`JobSpec`]): the partitioned SP program and
+//!   the per-template read-slot tables travel as `Arc`s, built once by
+//!   [`crate::Runtime::prepare`] (or its internal cache) and shared by every
+//!   job — warm submissions skip the clone/partition/table-build entirely.
+//! * **Batched wake-up delivery**: a writer that fills many I-structure
+//!   elements in one task accumulates the `(waiter, value)` wake-ups in a
+//!   per-worker buffer ([`pods_istructure::SharedArray::write_into`]
+//!   appends straight into it) and flushes them in a single scheduler-lock transaction, instead of
+//!   one lock round trip per deferred reader. The buffer is bounded by the
+//!   job's `delivery_batch` and force-flushed at every task boundary (park,
+//!   finish, error), so deadlock detection observes exactly the same
+//!   liveness it would unbatched and no parked instance can be stranded
+//!   behind an unflushed buffer.
+//! * **Per-worker instance arenas**: finished instances return their frame
+//!   (the operand-slot vector) to a free-list owned by the worker thread;
+//!   fine-grained loops that spawn an instance per iteration recycle frames
+//!   instead of hammering the allocator.
 
 use super::{check_invocation, Engine, EngineOutcome, EngineStats};
 use crate::error::PodsError;
@@ -87,6 +111,19 @@ pub struct NativeStats {
     /// 1-based sequence number of this job on its pool. A reused pool
     /// reports 1, 2, 3, … across successive submissions.
     pub job_seq: u64,
+    /// Wake-up values delivered: one per `(waiter, value)` pair a write
+    /// re-activated or mailed to its target instance, *plus* one per
+    /// function-return value routed back to a calling instance (returns
+    /// travel through the same delivery path).
+    pub wakeups: u64,
+    /// Scheduler-lock transactions spent delivering those wake-ups. Equals
+    /// `wakeups` when every delivery travels alone; batched delivery
+    /// coalesces up to `delivery_batch` wake-ups per transaction, so this
+    /// drops well below `wakeups` on read-heavy workloads.
+    pub wakeup_flushes: u64,
+    /// Instances whose frame was recycled from a worker's arena free-list
+    /// instead of freshly allocated.
+    pub arena_reuses: u64,
 }
 
 /// `(instance, slot)` continuation tag: where a produced value must go.
@@ -105,30 +142,6 @@ struct NInstance {
 }
 
 impl NInstance {
-    fn new(
-        id: InstanceId,
-        template: SpId,
-        pe: usize,
-        num_slots: usize,
-        args: &[Value],
-        return_to: Option<NativeWaiter>,
-    ) -> Self {
-        let mut slots = vec![None; num_slots];
-        for (i, v) in args.iter().enumerate() {
-            if i < num_slots {
-                slots[i] = Some(*v);
-            }
-        }
-        NInstance {
-            id,
-            template,
-            pe,
-            pc: 0,
-            slots,
-            return_to,
-        }
-    }
-
     fn slot(&self, slot: SlotId) -> Option<Value> {
         self.slots.get(slot.index()).copied().flatten()
     }
@@ -194,6 +207,108 @@ impl ArrayCache {
     }
 }
 
+/// Precomputed read-slot lists per `(template, pc)`: the firing-rule check
+/// runs for every executed instruction, and rebuilding the list (a heap
+/// allocation) each time is measurable across millions of instructions.
+/// Built once per prepared program and `Arc`-shared by every job that runs
+/// it.
+pub(crate) type ReadSlots = Vec<Vec<Vec<SlotId>>>;
+
+/// Builds the [`ReadSlots`] table for a (partitioned) SP program.
+pub(crate) fn build_read_slots(program: &SpProgram) -> ReadSlots {
+    program
+        .templates()
+        .iter()
+        .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
+        .collect()
+}
+
+/// Everything program-shaped a native job needs, in `Arc`-shared form so
+/// warm submissions of the same prepared program pay zero setup: the
+/// partitioned SP program, its read-slot tables, the partition report (for
+/// the outcome), and the per-job execution knobs.
+pub(crate) struct JobSpec {
+    pub program: Arc<SpProgram>,
+    pub read_slots: Arc<ReadSlots>,
+    pub partition: PartitionReport,
+    pub page_size: usize,
+    /// 0 = unlimited; otherwise abort after this many task executions.
+    pub max_tasks: u64,
+    /// Max wake-ups buffered per worker before a forced flush (>= 1; 1
+    /// flushes after every write, i.e. unbatched delivery).
+    pub delivery_batch: usize,
+}
+
+impl JobSpec {
+    /// The cold-path constructor: partitions the program and builds the
+    /// read-slot tables for this one submission (the `Engine`-trait path and
+    /// the native tests; [`crate::Runtime`] amortises this via
+    /// [`crate::PreparedProgram`]).
+    pub(crate) fn from_options(program: &CompiledProgram, opts: &RunOptions) -> JobSpec {
+        let (partitioned, partition) = program.partitioned(opts);
+        let read_slots = build_read_slots(&partitioned);
+        JobSpec {
+            program: Arc::new(partitioned),
+            read_slots: Arc::new(read_slots),
+            partition,
+            page_size: opts.page_size,
+            max_tasks: opts.max_events,
+            delivery_batch: opts.delivery_batch.max(1),
+        }
+    }
+}
+
+/// Upper bound on recycled frames a worker keeps around, so a spike of tiny
+/// instances cannot pin memory forever.
+const ARENA_MAX_FREE: usize = 256;
+
+/// Per-worker free-list of instance frames (operand-slot vectors). Loop
+/// bodies spawn one instance per iteration; recycling the frame of every
+/// finished instance turns that allocator traffic into a pop/push on a
+/// thread-local vector.
+#[derive(Default)]
+struct InstanceArena {
+    free: Vec<Vec<Option<Value>>>,
+}
+
+impl InstanceArena {
+    /// A frame of `num_slots` cleared slots with `args` copied into the
+    /// parameter positions. Returns `true` when the frame was recycled.
+    fn frame(&mut self, num_slots: usize, args: &[Value]) -> (Vec<Option<Value>>, bool) {
+        let (mut slots, reused) = match self.free.pop() {
+            Some(v) => (v, true),
+            None => (Vec::with_capacity(num_slots), false),
+        };
+        slots.clear();
+        slots.resize(num_slots, None);
+        for (i, v) in args.iter().take(num_slots).enumerate() {
+            slots[i] = Some(*v);
+        }
+        (slots, reused)
+    }
+
+    fn recycle(&mut self, slots: Vec<Option<Value>>) {
+        if self.free.len() < ARENA_MAX_FREE {
+            self.free.push(slots);
+        }
+    }
+}
+
+/// State owned by one worker thread and reused across every task it runs:
+/// the instance arena, the wake-up delivery buffer, and a scratch vector for
+/// marshalling spawn arguments. All three exist to keep per-iteration
+/// allocations and lock acquisitions off the warm path.
+#[derive(Default)]
+struct WorkerCtx {
+    arena: InstanceArena,
+    /// Buffered wake-ups of the job currently executing. Invariant: empty
+    /// between tasks — every exit path of `run_instance` flushes (on
+    /// progress) or clears (when the job is already failing) the buffer, so
+    /// deliveries can never leak into another job.
+    delivery: Vec<(NativeWaiter, Value)>,
+    spawn_args: Vec<Value>,
+}
+
 /// Parked-instance registry plus the mailbox for values that arrive while
 /// their target instance is queued or running.
 #[derive(Default)]
@@ -222,11 +337,9 @@ struct Job {
     /// Identity of the owning pool (for reuse assertions / stats).
     pool_id: u64,
     program: Arc<SpProgram>,
-    /// Precomputed read-slot lists per (template, pc): the firing-rule
-    /// check runs for every executed instruction, and rebuilding the list
-    /// (a heap allocation) each time is measurable across millions of
-    /// instructions.
-    read_slots: Vec<Vec<Vec<SlotId>>>,
+    /// Shared read-slot tables (see [`ReadSlots`]); built once per prepared
+    /// program, not per job.
+    read_slots: Arc<ReadSlots>,
     store: SharedArrayStore<NativeWaiter>,
     sched: Mutex<Sched>,
     counts: Mutex<JobCounts>,
@@ -244,11 +357,17 @@ struct Job {
     /// 0 = unlimited; otherwise abort after this many task executions
     /// (the native analogue of the simulator's event limit).
     max_tasks: u64,
+    /// Max wake-ups buffered per worker before a forced flush (1 =
+    /// unbatched).
+    delivery_batch: usize,
     next_instance: AtomicU64,
     next_array: AtomicUsize,
     tasks: AtomicU64,
     parks: AtomicU64,
     steals: AtomicU64,
+    wakeups: AtomicU64,
+    wakeup_flushes: AtomicU64,
+    arena_reuses: AtomicU64,
 }
 
 impl Job {
@@ -279,6 +398,9 @@ impl Job {
             steals: self.steals.load(Ordering::Relaxed),
             pool_id: self.pool_id,
             job_seq: self.seq,
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
+            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -373,18 +495,31 @@ impl PoolShared {
         self.cv.notify_one();
     }
 
+    #[allow(clippy::too_many_arguments)] // hot path: a params struct would be built per spawn
     fn spawn_instance(
         &self,
         w: usize,
         job: &Arc<Job>,
         template_id: SpId,
-        args: Vec<Value>,
+        args: &[Value],
         pe: usize,
         return_to: Option<NativeWaiter>,
+        arena: &mut InstanceArena,
     ) {
         let id = InstanceId(job.next_instance.fetch_add(1, Ordering::Relaxed));
         let num_slots = job.program.template(template_id).num_slots;
-        let inst = NInstance::new(id, template_id, pe, num_slots, &args, return_to);
+        let (slots, reused) = arena.frame(num_slots, args);
+        if reused {
+            job.arena_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let inst = NInstance {
+            id,
+            template: template_id,
+            pe,
+            pc: 0,
+            slots,
+            return_to,
+        };
         self.enqueue(w, job, inst, true);
     }
 
@@ -411,21 +546,57 @@ impl PoolShared {
         task
     }
 
-    /// Sends a value to a waiter. If the target is parked on that slot it is
-    /// woken onto worker `w`'s deque; otherwise the value is stashed in the
-    /// mailbox for the target to drain at its next park attempt.
-    fn deliver(&self, w: usize, job: &Arc<Job>, waiter: NativeWaiter, value: Value) {
-        let (target, slot) = waiter;
-        let mut sched = job.sched.lock().expect("sched poisoned");
-        if let Some(b) = sched.blocked.get_mut(&target) {
-            b.inst.set_slot(slot, value);
-            if b.slot == slot {
-                let b = sched.blocked.remove(&target).expect("checked above");
-                drop(sched);
-                self.enqueue(w, job, b.inst, false);
+    /// Delivers every buffered wake-up of `buf` in one scheduler
+    /// transaction: one `sched` lock to fill slots / route mailboxes, one
+    /// `counts` + `coord` + deque lock to enqueue everything that woke.
+    /// Called when the buffer reaches the job's `delivery_batch` and at
+    /// every task boundary (park, finish), so batching changes *when* locks
+    /// are taken, never *whether* a wake-up happens before the liveness
+    /// counters can observe the task as idle.
+    fn flush(&self, w: usize, job: &Arc<Job>, buf: &mut Vec<(NativeWaiter, Value)>) {
+        if buf.is_empty() {
+            return;
+        }
+        job.wakeups.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        job.wakeup_flushes.fetch_add(1, Ordering::Relaxed);
+        let mut to_wake: Vec<NInstance> = Vec::new();
+        {
+            let mut sched = job.sched.lock().expect("sched poisoned");
+            for (waiter, value) in buf.drain(..) {
+                let (target, slot) = waiter;
+                if let Some(b) = sched.blocked.get_mut(&target) {
+                    b.inst.set_slot(slot, value);
+                    if b.slot == slot {
+                        let woken = sched.blocked.remove(&target).expect("checked above");
+                        to_wake.push(woken.inst);
+                    }
+                } else {
+                    sched.mailbox.entry(target).or_default().push((slot, value));
+                }
             }
+        }
+        if to_wake.is_empty() {
+            return;
+        }
+        let woken = to_wake.len();
+        {
+            let mut c = job.counts.lock().expect("counts poisoned");
+            c.in_flight += woken;
+        }
+        self.lock_coord().ready += woken as isize;
+        {
+            let mut q = self.queues[w].lock().expect("queue poisoned");
+            for inst in to_wake {
+                q.push_back(Task {
+                    job: Arc::clone(job),
+                    inst,
+                });
+            }
+        }
+        if woken == 1 {
+            self.cv.notify_one();
         } else {
-            sched.mailbox.entry(target).or_default().push((slot, value));
+            self.cv.notify_all();
         }
     }
 
@@ -455,13 +626,23 @@ impl PoolShared {
         None
     }
 
-    /// Terminates an instance, routing its return value.
-    fn finish(&self, w: usize, job: &Arc<Job>, inst: NInstance, value: Option<Value>) {
+    /// Terminates an instance, routing its return value through the
+    /// delivery buffer and flushing it (a task boundary) before the
+    /// liveness counters give up this task's `in_flight` slot.
+    fn finish(
+        &self,
+        w: usize,
+        job: &Arc<Job>,
+        inst: NInstance,
+        value: Option<Value>,
+        delivery: &mut Vec<(NativeWaiter, Value)>,
+    ) {
         if inst.id == job.entry {
             *job.result.lock().expect("result poisoned") = value;
         } else if let (Some(ret), Some(v)) = (inst.return_to, value) {
-            self.deliver(w, job, ret, v);
+            delivery.push((ret, v));
         }
+        self.flush(w, job, delivery);
         let mut c = job.counts.lock().expect("counts poisoned");
         c.in_flight -= 1;
         c.live -= 1;
@@ -524,6 +705,7 @@ impl PoolShared {
         inst: &mut NInstance,
         instr: &Instr,
         w: usize,
+        ctx: &mut WorkerCtx,
     ) -> Result<Step, String> {
         match instr {
             Instr::Binary { op, dst, lhs, rhs } => {
@@ -617,9 +799,14 @@ impl PoolShared {
                 let v = self.operand(inst, value);
                 let (id, offset) = self.array_offset(job, cache, inst, array_v, indices)?;
                 let shared = cache.get(&job.store, id)?;
-                let woken = shared.write(offset, v).map_err(|e| e.to_string())?;
-                for waiter in woken {
-                    self.deliver(w, job, waiter, v);
+                // Wake-ups land in the worker's delivery buffer; they are
+                // flushed in one scheduler transaction when the buffer
+                // fills (or at the next task boundary).
+                shared
+                    .write_into(offset, v, &mut ctx.delivery)
+                    .map_err(|e| e.to_string())?;
+                if ctx.delivery.len() >= job.delivery_batch {
+                    self.flush(w, job, &mut ctx.delivery);
                 }
                 Ok(Step::Next)
             }
@@ -629,7 +816,14 @@ impl PoolShared {
                 distributed,
                 ret,
             } => {
-                let arg_values: Vec<Value> = args.iter().map(|a| self.operand(inst, a)).collect();
+                // Marshal arguments into the worker's scratch vector (no
+                // per-spawn allocation, and distributed spawns reuse one
+                // slice instead of cloning per PE).
+                let WorkerCtx {
+                    arena, spawn_args, ..
+                } = ctx;
+                spawn_args.clear();
+                spawn_args.extend(args.iter().map(|a| self.operand(inst, a)));
                 let return_to = ret.map(|slot| {
                     inst.clear_slot(slot);
                     (inst.id, slot)
@@ -637,10 +831,10 @@ impl PoolShared {
                 if *distributed {
                     for q in 0..job.workers {
                         let ret_here = if q == inst.pe { return_to } else { None };
-                        self.spawn_instance(w, job, *target, arg_values.clone(), q, ret_here);
+                        self.spawn_instance(w, job, *target, spawn_args, q, ret_here, arena);
                     }
                 } else {
-                    self.spawn_instance(w, job, *target, arg_values, inst.pe, return_to);
+                    self.spawn_instance(w, job, *target, spawn_args, inst.pe, return_to, arena);
                 }
                 Ok(Step::Next)
             }
@@ -685,13 +879,23 @@ impl PoolShared {
     }
 
     /// Runs one instance until it finishes, parks, or its job stops.
-    fn run_instance(&self, job: &Arc<Job>, mut inst: NInstance, w: usize) {
+    ///
+    /// Delivery-buffer discipline: `ctx.delivery` is empty on entry and on
+    /// every return. Progress exits (park, finish) *flush* — buffered
+    /// wake-ups must be enqueued before this task's `in_flight` count is
+    /// given up, or deadlock detection could observe a false idle. Failure
+    /// exits (job error, cancellation) *clear* — the job is already failing
+    /// and its waiters are released by `fail`, but the buffer must not leak
+    /// into the next task, which may belong to another job.
+    fn run_instance(&self, job: &Arc<Job>, mut inst: NInstance, w: usize, ctx: &mut WorkerCtx) {
+        debug_assert!(ctx.delivery.is_empty(), "delivery buffer leaked a task");
         let executed = job.tasks.fetch_add(1, Ordering::Relaxed) + 1;
         if job.max_tasks > 0 && executed > job.max_tasks {
             job.fail(SimulationError::EventLimitExceeded {
                 limit: job.max_tasks,
             });
             self.abandon(job);
+            ctx.arena.recycle(std::mem::take(&mut inst.slots));
             return;
         }
         let program = Arc::clone(&job.program);
@@ -701,6 +905,8 @@ impl PoolShared {
         loop {
             if job.stop.load(Ordering::Relaxed) {
                 self.abandon(job);
+                ctx.delivery.clear();
+                ctx.arena.recycle(std::mem::take(&mut inst.slots));
                 return;
             }
             if self.stop.load(Ordering::Relaxed) {
@@ -708,10 +914,14 @@ impl PoolShared {
                 // waiter gets a cancellation error instead of hanging.
                 job.fail(cancellation_error());
                 self.abandon(job);
+                ctx.delivery.clear();
+                ctx.arena.recycle(std::mem::take(&mut inst.slots));
                 return;
             }
             if inst.pc >= template.code.len() {
-                self.finish(w, job, inst, None);
+                let frame = std::mem::take(&mut inst.slots);
+                self.finish(w, job, inst, None, &mut ctx.delivery);
+                ctx.arena.recycle(frame);
                 return;
             }
             let instr = &template.code[inst.pc];
@@ -721,6 +931,7 @@ impl PoolShared {
                 .copied()
                 .find(|s| !inst.is_present(*s))
             {
+                self.flush(w, job, &mut ctx.delivery);
                 match self.park(job, inst, missing) {
                     Some(resumed) => {
                         inst = resumed;
@@ -729,20 +940,27 @@ impl PoolShared {
                     None => return,
                 }
             }
-            match self.execute(job, &mut cache, &mut inst, instr, w) {
+            match self.execute(job, &mut cache, &mut inst, instr, w, ctx) {
                 Ok(Step::Next) => inst.pc += 1,
                 Ok(Step::Jump(target)) => inst.pc = target,
-                Ok(Step::Park(slot)) => match self.park(job, inst, slot) {
-                    Some(resumed) => inst = resumed,
-                    None => return,
-                },
+                Ok(Step::Park(slot)) => {
+                    self.flush(w, job, &mut ctx.delivery);
+                    match self.park(job, inst, slot) {
+                        Some(resumed) => inst = resumed,
+                        None => return,
+                    }
+                }
                 Ok(Step::Finished(v)) => {
-                    self.finish(w, job, inst, v);
+                    let frame = std::mem::take(&mut inst.slots);
+                    self.finish(w, job, inst, v, &mut ctx.delivery);
+                    ctx.arena.recycle(frame);
                     return;
                 }
                 Err(msg) => {
                     job.fail(SimulationError::Runtime(msg));
                     self.abandon(job);
+                    ctx.delivery.clear();
+                    ctx.arena.recycle(std::mem::take(&mut inst.slots));
                     return;
                 }
             }
@@ -750,6 +968,7 @@ impl PoolShared {
     }
 
     fn worker(&self, w: usize) {
+        let mut ctx = WorkerCtx::default();
         loop {
             if self.stop.load(Ordering::Relaxed) {
                 // Leave queued tasks in place: `Drop` drains them and fails
@@ -757,7 +976,7 @@ impl PoolShared {
                 return;
             }
             if let Some(task) = self.pop_task(w) {
-                self.run_instance(&task.job, task.inst, w);
+                self.run_instance(&task.job, task.inst, w, &mut ctx);
                 continue;
             }
             let c = self.lock_coord();
@@ -820,29 +1039,28 @@ impl NativePool {
         self.shared.id
     }
 
-    /// Submits one partitioned program for execution and returns a handle
-    /// to wait on. The entry instance is placed on a rotating home worker so
-    /// that concurrent jobs spread across the pool.
-    pub(crate) fn submit(
-        &self,
-        program: SpProgram,
-        args: &[Value],
-        partition: PartitionReport,
-        page_size: usize,
-        max_tasks: u64,
-    ) -> NativeJobHandle {
+    /// Submits one prepared program for execution and returns a handle to
+    /// wait on. The program state in the [`JobSpec`] is `Arc`-shared, so a
+    /// warm submission allocates only per-job state (store, scheduler,
+    /// counters) — no program clone, no re-partition, no read-slot rebuild.
+    /// The entry instance is placed on a rotating home worker so that
+    /// concurrent jobs spread across the pool.
+    pub(crate) fn submit(&self, spec: JobSpec, args: &[Value]) -> NativeJobHandle {
         let started = Instant::now();
         let seq = self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let JobSpec {
+            program,
+            read_slots,
+            partition,
+            page_size,
+            max_tasks,
+            delivery_batch,
+        } = spec;
         let entry_template = program.entry();
-        let read_slots = program
-            .templates()
-            .iter()
-            .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
-            .collect();
         let job = Arc::new(Job {
             seq,
             pool_id: self.shared.id,
-            program: Arc::new(program),
+            program,
             read_slots,
             store: SharedArrayStore::new(),
             sched: Mutex::new(Sched::default()),
@@ -856,15 +1074,22 @@ impl NativePool {
             workers: self.shared.workers,
             page_size,
             max_tasks,
+            delivery_batch: delivery_batch.max(1),
             next_instance: AtomicU64::new(0),
             next_array: AtomicUsize::new(0),
             tasks: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            wakeup_flushes: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
         });
         let home = (seq as usize - 1) % self.shared.workers;
+        // Submission happens off the worker threads, so the entry frame
+        // comes from a throwaway arena (one allocation per job).
+        let mut arena = InstanceArena::default();
         self.shared
-            .spawn_instance(home, &job, entry_template, args.to_vec(), 0, None);
+            .spawn_instance(home, &job, entry_template, args, 0, None, &mut arena);
         NativeJobHandle {
             job,
             partition,
@@ -963,14 +1188,7 @@ impl Engine for NativeParallelEngine {
         check_invocation(program, args)?;
         let start = Instant::now();
         let pool = NativePool::new(opts.num_pes.max(1));
-        let (partitioned, partition) = program.partitioned(opts);
-        let handle = pool.submit(
-            partitioned,
-            args,
-            partition,
-            opts.page_size,
-            opts.max_events,
-        );
+        let handle = pool.submit(JobSpec::from_options(program, opts), args);
         let mut outcome = handle.wait()?;
         // The cold path owns the pool, so its wall-clock honestly includes
         // pool spawn and teardown-free run time measured from entry.
@@ -1137,11 +1355,7 @@ mod tests {
             } else {
                 (&scalar, vec![Value::Int(k)])
             };
-            let (partitioned, partition) = program.partitioned(&opts);
-            handles.push((
-                k,
-                pool.submit(partitioned, &args, partition, opts.page_size, 0),
-            ));
+            handles.push((k, pool.submit(JobSpec::from_options(program, &opts), &args)));
         }
         let mut seqs = Vec::new();
         for (k, handle) in handles {
@@ -1169,18 +1383,113 @@ mod tests {
         let good = compile("def main(n) { return n + 1; }").unwrap();
         let pool = NativePool::new(2);
         let opts = RunOptions::with_pes(2);
-        let (bp, bpart) = bad.partitioned(&opts);
-        let (gp, gpart) = good.partitioned(&opts);
-        let bad_handle = pool.submit(bp, &[Value::Int(4)], bpart, opts.page_size, 0);
-        let good_handle = pool.submit(gp, &[Value::Int(4)], gpart, opts.page_size, 0);
+        let bad_handle = pool.submit(JobSpec::from_options(&bad, &opts), &[Value::Int(4)]);
+        let good_handle = pool.submit(JobSpec::from_options(&good, &opts), &[Value::Int(4)]);
         assert!(bad_handle.wait().is_err());
         assert_eq!(
             good_handle.wait().unwrap().return_value,
             Some(Value::Int(5))
         );
         // And the pool still accepts new work after a failure.
-        let (gp2, gpart2) = good.partitioned(&opts);
-        let again = pool.submit(gp2, &[Value::Int(9)], gpart2, opts.page_size, 0);
+        let again = pool.submit(JobSpec::from_options(&good, &opts), &[Value::Int(9)]);
         assert_eq!(again.wait().unwrap().return_value, Some(Value::Int(10)));
+    }
+
+    fn native_stats_for(program: &CompiledProgram, n: i64, batch: usize) -> NativeStats {
+        let mut opts = RunOptions::with_pes(1);
+        opts.delivery_batch = batch;
+        let outcome = NativeParallelEngine
+            .run(program, &[Value::Int(n)], &opts)
+            .unwrap();
+        match outcome.stats {
+            EngineStats::Native { stats, .. } => stats,
+            other => panic!("expected native stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_delivery_coalesces_scheduler_transactions() {
+        // Sixteen split-phase probe calls park on unwritten elements, then
+        // one producer-loop task writes all of them. The producer is
+        // spawned *first*, so on one worker's LIFO deque the probes run
+        // (and defer) before it: its writes then deliver 16 wake-ups from
+        // a single task. Unbatched (batch = 1) that is one scheduler
+        // transaction per write; batch = 16 coalesces them into one. The
+        // right-nested sum keeps all 16 spawns split-phase (no Move needs a
+        // return value until every probe is in flight).
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                for i = 0 to n - 1 { a[i] = i * 3; }
+                return probe(a, 0) + (probe(a, 1) + (probe(a, 2) + (probe(a, 3)
+                     + (probe(a, 4) + (probe(a, 5) + (probe(a, 6) + (probe(a, 7)
+                     + (probe(a, 8) + (probe(a, 9) + (probe(a, 10) + (probe(a, 11)
+                     + (probe(a, 12) + (probe(a, 13) + (probe(a, 14) + probe(a, 15)
+                     ))))))))))))));
+            }
+            def probe(a, i) { return a[i] + 1; }
+        "#;
+        let program = compile(src).unwrap();
+        let expected = (0..16).map(|i| i * 3 + 1).sum::<i64>();
+        let check = |batch: usize| {
+            let mut opts = RunOptions::with_pes(1);
+            opts.delivery_batch = batch;
+            let outcome = NativeParallelEngine
+                .run(&program, &[Value::Int(16)], &opts)
+                .unwrap();
+            assert_eq!(
+                outcome.return_value,
+                Some(Value::Int(expected)),
+                "batch={batch}"
+            );
+        };
+        check(1);
+        check(16);
+        let unbatched = native_stats_for(&program, 16, 1);
+        let batched = native_stats_for(&program, 16, 16);
+        assert_eq!(
+            unbatched.wakeups, batched.wakeups,
+            "batching must not change how many wake-ups are delivered"
+        );
+        assert!(
+            unbatched.wakeups >= 32,
+            "expected 16 deferred reads + 16 returns, got {}",
+            unbatched.wakeups
+        );
+        // Both modes pay one forced flush per probe return (a task
+        // boundary); the contrast is the producer's 16 array wake-ups — 16
+        // transactions unbatched, 1 batched.
+        assert!(
+            batched.wakeup_flushes + 8 <= unbatched.wakeup_flushes,
+            "batch=16 should need fewer scheduler transactions: \
+             {} vs {}",
+            batched.wakeup_flushes,
+            unbatched.wakeup_flushes
+        );
+    }
+
+    #[test]
+    fn worker_arena_recycles_instance_frames() {
+        // One probe instance per iteration, sequentially: spawn, run,
+        // finish, spawn the next. After the first frame is recycled every
+        // later spawn reuses it, so reuse grows with n.
+        let src = r#"
+            def main(n) {
+                a = array(n);
+                s = array(n);
+                for i = 0 to n - 1 { a[i] = i * 3; }
+                for i = 0 to n - 1 { s[i] = probe(a, i); }
+                return s;
+            }
+            def probe(a, i) { return a[i] + 1; }
+        "#;
+        let program = compile(src).unwrap();
+        let stats = native_stats_for(&program, 64, 16);
+        assert!(
+            stats.arena_reuses > 32,
+            "expected recycled instance frames, got {} (instances {})",
+            stats.arena_reuses,
+            stats.instances
+        );
     }
 }

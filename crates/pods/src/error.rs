@@ -25,6 +25,12 @@ pub enum PodsError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`crate::PreparedProgram`] was submitted to a runtime whose
+    /// partitioning configuration differs from the one it was prepared
+    /// with (worker counts may differ freely — partitioning is
+    /// machine-size-independent — but the partitioner switches must
+    /// match).
+    PreparedMismatch,
     /// The program has no `main` entry function.
     MissingEntry,
     /// The number of `main` arguments does not match the declaration.
@@ -46,10 +52,22 @@ impl std::fmt::Display for PodsError {
             PodsError::UnknownEngine { name } => {
                 write!(
                     f,
-                    "unknown engine `{name}` (expected one of: {})",
-                    crate::engine::ENGINE_NAMES.join(", ")
+                    "unknown engine `{name}` (valid engines: {}; aliases: {})",
+                    crate::engine::ENGINE_NAMES.join(", "),
+                    crate::engine::EngineKind::ALL
+                        .into_iter()
+                        .flat_map(|k| k.aliases().iter().skip(1).copied())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
+            PodsError::PreparedMismatch => write!(
+                f,
+                "prepared program does not match this runtime's partition \
+                 configuration; call `Runtime::prepare` on this runtime (or \
+                 pass the raw compiled program and let the runtime's cache \
+                 prepare it)"
+            ),
             PodsError::MissingEntry => write!(f, "program has no `main` function"),
             PodsError::ArgumentMismatch { expected, got } => write!(
                 f,
@@ -102,6 +120,7 @@ mod tests {
             PodsError::UnknownEngine {
                 name: "warp".into(),
             },
+            PodsError::PreparedMismatch,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

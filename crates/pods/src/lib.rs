@@ -70,7 +70,7 @@ pub use pipeline::{
     compile, compile_and_run, compile_and_run_on, speedup_sweep, speedup_sweep_on,
     speedup_sweep_with, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
 };
-pub use runtime::{JobHandle, Runtime, RuntimeBuilder};
+pub use runtime::{JobHandle, PreparedProgram, ProgramSource, Runtime, RuntimeBuilder};
 
 // Re-export the pieces a downstream user needs to drive runs and interpret
 // results without depending on every sub-crate explicitly.

@@ -36,6 +36,14 @@ pub struct RunOptions {
     /// count interpreted statements. Exhaustion is always reported as
     /// [`pods_machine::SimulationError::EventLimitExceeded`].
     pub max_events: u64,
+    /// Native engine only: maximum number of I-structure wake-ups a worker
+    /// buffers before delivering them in one scheduler transaction
+    /// (mirroring the paper's ~20-token routing batches). `1` delivers
+    /// after every write (unbatched); values are clamped to at least 1.
+    /// Buffers are always force-flushed at task boundaries, so batching
+    /// never delays a wake-up past the point where the scheduler could
+    /// mistake the job for idle. Ignored by the modelled engines.
+    pub delivery_batch: usize,
 }
 
 impl Default for RunOptions {
@@ -46,6 +54,7 @@ impl Default for RunOptions {
             remote_page_cache: true,
             partition: PartitionConfig::default(),
             max_events: 0,
+            delivery_batch: 16,
         }
     }
 }
@@ -75,13 +84,28 @@ impl RunOptions {
 /// size.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
+    /// Process-unique identity assigned at [`compile`] time; clones share
+    /// it (their pipeline stages are identical by construction). This is
+    /// the interning key for [`crate::Runtime`]'s prepared-program cache.
+    identity: u64,
     hir: HirProgram,
     graph: DataflowProgram,
     loops: Vec<LoopInfo>,
     sp: SpProgram,
 }
 
+/// Source of [`CompiledProgram::identity`] values.
+static NEXT_PROGRAM_IDENTITY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 impl CompiledProgram {
+    /// The program's process-unique identity (shared by clones). Two
+    /// programs compiled separately — even from identical source — get
+    /// distinct identities; use [`pods_sp::SpProgram::fingerprint`] for
+    /// structural comparison.
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
+
     /// The lowered HIR.
     pub fn hir(&self) -> &HirProgram {
         &self.hir
@@ -211,6 +235,7 @@ pub fn compile(source: &str) -> Result<CompiledProgram, PodsError> {
     let loops = analyze_loops(&hir);
     let sp = translate(&hir)?;
     Ok(CompiledProgram {
+        identity: NEXT_PROGRAM_IDENTITY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         hir,
         graph,
         loops,

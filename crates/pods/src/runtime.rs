@@ -19,6 +19,18 @@
 //! `Runtime` is `Sync`: share `&Runtime` across OS threads and submit from
 //! all of them concurrently.
 //!
+//! # The warm path: prepared programs
+//!
+//! Submitting a raw [`CompiledProgram`] still has to clone its SP program,
+//! run the partitioner over it, and build the per-template read-slot
+//! tables. All three are pure functions of `(program, partition config)`,
+//! so the runtime amortises them: [`Runtime::prepare`] produces an
+//! `Arc`-shared, immutable [`PreparedProgram`], and `run`/`submit`/
+//! `run_many` accept either form. Raw programs are auto-prepared through a
+//! small LRU cache keyed by the program's interned identity, so even
+//! callers that never touch `prepare` pay the setup once per program, not
+//! once per run.
+//!
 //! ```
 //! use pods::{compile, EngineKind, Runtime, Value};
 //!
@@ -26,19 +38,34 @@
 //!     "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i * i; } return a; }",
 //! )?;
 //! let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
-//! // Back-to-back runs reuse the same worker threads.
+//! // Prepare once; every subsequent run pays only job submission.
+//! let prepared = runtime.prepare(&program);
 //! for n in [4, 8, 16] {
-//!     let outcome = runtime.run(&program, &[Value::Int(n)])?;
+//!     let outcome = runtime.run(&prepared, &[Value::Int(n)])?;
 //!     assert!(outcome.returned_array().unwrap().is_complete());
 //! }
+//! // Raw programs work too — the runtime's LRU cache makes repeat runs
+//! // just as warm.
+//! let outcome = runtime.run(&program, &[Value::Int(6)])?;
+//! assert!(outcome.returned_array().unwrap().is_complete());
 //! # Ok::<(), pods::PodsError>(())
 //! ```
+//!
+//! A `PreparedProgram` is machine-size-independent (Range Filters compute
+//! per-worker responsibility at run time), so one handle serves runtimes
+//! with different worker counts; only the partitioner configuration must
+//! match the preparing runtime's.
 
-use crate::engine::{check_invocation, EngineKind, EngineOutcome, NativeJobHandle, NativePool};
+use crate::engine::{
+    build_read_slots, check_invocation, EngineKind, EngineOutcome, JobSpec, NativeJobHandle,
+    NativePool, ReadSlots,
+};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use pods_istructure::Value;
-use pods_partition::PartitionConfig;
+use pods_partition::{PartitionConfig, PartitionReport};
+use pods_sp::SpProgram;
+use std::sync::{Arc, Mutex};
 
 /// Configures and builds a [`Runtime`].
 ///
@@ -50,7 +77,11 @@ use pods_partition::PartitionConfig;
 pub struct RuntimeBuilder {
     kind: EngineKind,
     opts: RunOptions,
+    prepared_cache: usize,
 }
+
+/// Default capacity of the runtime's prepared-program LRU cache.
+const DEFAULT_PREPARED_CACHE: usize = 16;
 
 impl RuntimeBuilder {
     /// Starts a builder for the given engine kind. Workers default to the
@@ -63,6 +94,7 @@ impl RuntimeBuilder {
         RuntimeBuilder {
             kind,
             opts: RunOptions::with_pes(workers),
+            prepared_cache: DEFAULT_PREPARED_CACHE,
         }
     }
 
@@ -100,6 +132,26 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Native engine: how many I-structure wake-ups a worker buffers before
+    /// delivering them in one scheduler transaction (default 16, the order
+    /// of the paper's ~20-token routing batches; clamped to at least 1,
+    /// which is unbatched delivery). See [`RunOptions::delivery_batch`].
+    pub fn delivery_batch(mut self, batch: usize) -> Self {
+        self.opts.delivery_batch = batch.max(1);
+        self
+    }
+
+    /// Capacity of the prepared-program LRU cache used when raw
+    /// [`CompiledProgram`]s are submitted (default 16 programs). `0`
+    /// disables the cache: every raw submission re-clones and re-partitions
+    /// the program, which is exactly the pre-cache warm path — useful as a
+    /// benchmark control, not for production. Explicit
+    /// [`Runtime::prepare`] handles bypass the cache either way.
+    pub fn prepared_cache_capacity(mut self, programs: usize) -> Self {
+        self.prepared_cache = programs;
+        self
+    }
+
     /// Replaces the whole option block at once (for callers that already
     /// hold a [`RunOptions`], e.g. the compatibility wrappers).
     pub fn options(mut self, opts: RunOptions) -> Self {
@@ -119,6 +171,8 @@ impl RuntimeBuilder {
             kind: self.kind,
             opts: self.opts,
             pool,
+            prepared: Mutex::new(Vec::new()),
+            prepared_cap: self.prepared_cache,
         }
     }
 }
@@ -139,6 +193,10 @@ pub struct Runtime {
     kind: EngineKind,
     opts: RunOptions,
     pool: Option<NativePool>,
+    /// LRU cache of auto-prepared programs, most recently used last, keyed
+    /// by [`CompiledProgram::identity`].
+    prepared: Mutex<Vec<PreparedProgram>>,
+    prepared_cap: usize,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -147,6 +205,7 @@ impl std::fmt::Debug for Runtime {
             .field("kind", &self.kind)
             .field("workers", &self.opts.num_pes)
             .field("pool_id", &self.pool.as_ref().map(NativePool::id))
+            .field("prepared_cached", &self.prepared_cache_size())
             .finish()
     }
 }
@@ -191,21 +250,97 @@ impl Runtime {
         self.pool.as_ref().map(NativePool::id)
     }
 
-    /// Runs one program to completion on this runtime (blocking).
+    /// Number of programs currently held by the auto-prepare LRU cache.
+    pub fn prepared_cache_size(&self) -> usize {
+        self.prepared.lock().expect("prepared cache poisoned").len()
+    }
+
+    /// Prepares a program for repeated execution on this runtime: clones
+    /// the SP program, partitions it under this runtime's configuration,
+    /// and builds the per-template read-slot tables — once. The returned
+    /// handle is `Arc`-shared and immutable; cloning it is two reference
+    /// bumps, and submitting it skips every per-run setup step.
+    ///
+    /// Raw-program submissions consult the same LRU cache this method
+    /// feeds, so `prepare` is about *control* (pin a program's prepared
+    /// state for as long as you hold the handle, share it across runtimes)
+    /// rather than a requirement for warm runs.
+    ///
+    /// The handle is valid on any runtime whose partitioner configuration
+    /// equals this one's — worker counts may differ, because partitioning
+    /// is machine-size-independent (Range Filters resolve per-worker
+    /// responsibility at run time). Submitting it to a runtime with a
+    /// *different* partitioner configuration fails with
+    /// [`PodsError::PreparedMismatch`].
+    pub fn prepare(&self, program: &CompiledProgram) -> PreparedProgram {
+        if self.prepared_cap == 0 {
+            return self.prepare_uncached(program);
+        }
+        let identity = program.identity();
+        if let Some(hit) = self.cache_lookup(identity) {
+            return hit;
+        }
+        // Build outside the lock: preparation clones and partitions the
+        // program, and concurrent submitters of *other* programs should not
+        // serialise behind it. A racing prepare of the same program is
+        // resolved at insert time (first one in wins).
+        let fresh = self.prepare_uncached(program);
+        let mut cache = self.prepared.lock().expect("prepared cache poisoned");
+        if let Some(i) = cache.iter().position(|p| p.inner.identity == identity) {
+            let hit = cache.remove(i);
+            cache.push(hit.clone());
+            return hit;
+        }
+        if cache.len() >= self.prepared_cap {
+            cache.remove(0);
+        }
+        cache.push(fresh.clone());
+        fresh
+    }
+
+    fn cache_lookup(&self, identity: u64) -> Option<PreparedProgram> {
+        let mut cache = self.prepared.lock().expect("prepared cache poisoned");
+        let i = cache.iter().position(|p| p.inner.identity == identity)?;
+        let hit = cache.remove(i);
+        cache.push(hit.clone());
+        Some(hit)
+    }
+
+    fn prepare_uncached(&self, program: &CompiledProgram) -> PreparedProgram {
+        let (sp, partition) = program.partitioned(&self.opts);
+        let read_slots = build_read_slots(&sp);
+        let sp = Arc::new(sp);
+        PreparedProgram {
+            inner: Arc::new(PreparedInner {
+                identity: program.identity(),
+                fingerprint: sp.fingerprint(),
+                partition_cfg: self.opts.partition,
+                source: program.clone(),
+                sp,
+                read_slots: Arc::new(read_slots),
+                partition,
+            }),
+        }
+    }
+
+    /// Runs one program to completion on this runtime (blocking). Accepts a
+    /// raw `&CompiledProgram` (auto-prepared through the LRU cache) or a
+    /// [`PreparedProgram`] handle.
     ///
     /// # Errors
     ///
     /// Returns a [`PodsError`] for malformed invocations and run-time
     /// failures, exactly like the underlying engine.
-    pub fn run(
+    pub fn run<P: ProgramSource>(
         &self,
-        program: &CompiledProgram,
+        program: P,
         args: &[Value],
     ) -> Result<EngineOutcome, PodsError> {
         self.submit(program, args)?.wait()
     }
 
     /// Submits one program for execution and returns a [`JobHandle`].
+    /// Accepts a raw `&CompiledProgram` or a [`PreparedProgram`] handle.
     ///
     /// On the native runtime the job executes asynchronously on the shared
     /// pool: submit many jobs before waiting on any of them and they run
@@ -217,30 +352,30 @@ impl Runtime {
     /// # Errors
     ///
     /// Returns [`PodsError::MissingEntry`] / [`PodsError::ArgumentMismatch`]
-    /// for malformed invocations; run-time failures surface at
-    /// [`JobHandle::wait`].
-    pub fn submit(
+    /// for malformed invocations and [`PodsError::PreparedMismatch`] for a
+    /// prepared program whose partitioner configuration differs from this
+    /// runtime's; run-time failures surface at [`JobHandle::wait`].
+    pub fn submit<P: ProgramSource>(
         &self,
-        program: &CompiledProgram,
+        program: P,
         args: &[Value],
     ) -> Result<JobHandle, PodsError> {
-        check_invocation(program, args)?;
+        check_invocation(program.compiled(), args)?;
+        program.check_compatible(self)?;
         match &self.pool {
             Some(pool) => {
-                let (partitioned, partition) = program.partitioned(&self.opts);
-                let handle = pool.submit(
-                    partitioned,
-                    args,
-                    partition,
-                    self.opts.page_size,
-                    self.opts.max_events,
-                );
+                let prepared = program.prepared(self)?;
+                let handle = pool.submit(prepared.job_spec(&self.opts), args);
                 Ok(JobHandle {
                     inner: JobInner::Native(handle),
                 })
             }
             None => Ok(JobHandle {
-                inner: JobInner::Ready(Box::new(self.kind.engine().run(program, args, &self.opts))),
+                inner: JobInner::Ready(Box::new(self.kind.engine().run(
+                    program.compiled(),
+                    args,
+                    &self.opts,
+                ))),
             }),
         }
     }
@@ -248,19 +383,183 @@ impl Runtime {
     /// Runs a batch of jobs — `(program, args)` pairs — and returns their
     /// outcomes in submission order. On the native runtime all jobs are
     /// submitted before any is waited on, so they execute concurrently on
-    /// the shared pool.
-    pub fn run_many(
+    /// the shared pool. The program may be raw or prepared (one type per
+    /// batch; prepare everything for mixed batches).
+    pub fn run_many<P: ProgramSource>(
         &self,
-        jobs: &[(&CompiledProgram, &[Value])],
+        jobs: &[(P, &[Value])],
     ) -> Vec<Result<EngineOutcome, PodsError>> {
         let handles: Vec<Result<JobHandle, PodsError>> = jobs
             .iter()
-            .map(|(program, args)| self.submit(program, args))
+            .map(|(program, args)| self.submit(*program, args))
             .collect();
         handles
             .into_iter()
             .map(|handle| handle.and_then(JobHandle::wait))
             .collect()
+    }
+}
+
+/// An immutable, `Arc`-shared program prepared for execution: the cloned
+/// and partitioned SP program, its read-slot tables, and the partition
+/// report, ready for any number of submissions. Produced by
+/// [`Runtime::prepare`]; accepted anywhere a raw [`CompiledProgram`] is
+/// (`run`, `submit`, `run_many`). Cloning shares the underlying state.
+///
+/// The handle is machine-size-independent — it runs on any runtime with
+/// the same partitioner configuration, regardless of worker count.
+#[derive(Clone)]
+pub struct PreparedProgram {
+    inner: Arc<PreparedInner>,
+}
+
+struct PreparedInner {
+    /// The source program's interned identity (cache key).
+    identity: u64,
+    /// Structural fingerprint of the partitioned SP program.
+    fingerprint: u64,
+    /// The partitioner configuration the program was prepared under.
+    partition_cfg: PartitionConfig,
+    /// The compiled program this was prepared from, retained so the same
+    /// handle also runs on modelled-engine runtimes (which partition
+    /// internally) and so invocations can be validated. This is a full
+    /// clone, made once per `prepare` (never per run) and bounded by the
+    /// LRU cache capacity; callers keep their own original regardless.
+    source: CompiledProgram,
+    sp: Arc<SpProgram>,
+    read_slots: Arc<ReadSlots>,
+    partition: PartitionReport,
+}
+
+impl PreparedProgram {
+    /// The identity of the compiled program this was prepared from
+    /// (matches [`CompiledProgram::identity`]).
+    pub fn identity(&self) -> u64 {
+        self.inner.identity
+    }
+
+    /// Structural fingerprint of the partitioned SP program
+    /// ([`pods_sp::SpProgram::fingerprint`]): equal for any two
+    /// preparations of the same program under the same partitioner
+    /// configuration.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint
+    }
+
+    /// The partitioner's per-loop decisions for this preparation.
+    pub fn partition_report(&self) -> &PartitionReport {
+        &self.inner.partition
+    }
+
+    /// The partitioner configuration this program was prepared under; a
+    /// runtime accepts the handle iff its configuration equals this.
+    pub fn partition_config(&self) -> PartitionConfig {
+        self.inner.partition_cfg
+    }
+
+    /// Whether two handles share one underlying preparation (`Arc`
+    /// identity) — `true` exactly when one was cloned from the other,
+    /// e.g. by a cache hit.
+    pub fn same_preparation(&self, other: &PreparedProgram) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The per-job spec handed to the native pool: `Arc` bumps plus a
+    /// partition-report clone, no program work.
+    fn job_spec(&self, opts: &RunOptions) -> JobSpec {
+        JobSpec {
+            program: Arc::clone(&self.inner.sp),
+            read_slots: Arc::clone(&self.inner.read_slots),
+            partition: self.inner.partition.clone(),
+            page_size: opts.page_size,
+            max_tasks: opts.max_events,
+            delivery_batch: opts.delivery_batch.max(1),
+        }
+    }
+}
+
+impl std::fmt::Debug for PreparedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedProgram")
+            .field("identity", &self.inner.identity)
+            .field(
+                "fingerprint",
+                &format_args!("{:#018x}", self.inner.fingerprint),
+            )
+            .field("templates", &self.inner.sp.len())
+            .finish()
+    }
+}
+
+mod sealed {
+    /// Seals [`super::ProgramSource`]: the set of submittable program forms
+    /// is a closed part of the API.
+    pub trait Sealed {}
+    impl Sealed for &crate::pipeline::CompiledProgram {}
+    impl Sealed for &super::PreparedProgram {}
+}
+
+/// A program in a form [`Runtime::run`]/[`Runtime::submit`]/
+/// [`Runtime::run_many`] accept: a raw `&`[`CompiledProgram`] (prepared on
+/// demand through the runtime's LRU cache) or a `&`[`PreparedProgram`]
+/// (already prepared; submission is pure `Arc` sharing). Sealed — these two
+/// forms are the whole set.
+pub trait ProgramSource: sealed::Sealed + Copy {
+    /// The compiled program behind this source (for invocation checks and
+    /// the modelled engines).
+    #[doc(hidden)]
+    fn compiled(&self) -> &CompiledProgram;
+
+    /// Validates this source against `runtime`'s configuration. Checked on
+    /// every submission path — native *and* modelled — so a mismatched
+    /// prepared handle is rejected uniformly, not only where its prepared
+    /// partitioning would actually be executed.
+    ///
+    /// # Errors
+    ///
+    /// [`PodsError::PreparedMismatch`] when an already-prepared program was
+    /// built under a different partitioner configuration than `runtime`'s.
+    #[doc(hidden)]
+    fn check_compatible(&self, runtime: &Runtime) -> Result<(), PodsError>;
+
+    /// The prepared form for `runtime`'s native pool.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgramSource::check_compatible`].
+    #[doc(hidden)]
+    fn prepared(&self, runtime: &Runtime) -> Result<PreparedProgram, PodsError>;
+}
+
+impl ProgramSource for &CompiledProgram {
+    fn compiled(&self) -> &CompiledProgram {
+        self
+    }
+
+    fn check_compatible(&self, _runtime: &Runtime) -> Result<(), PodsError> {
+        Ok(())
+    }
+
+    fn prepared(&self, runtime: &Runtime) -> Result<PreparedProgram, PodsError> {
+        Ok(runtime.prepare(self))
+    }
+}
+
+impl ProgramSource for &PreparedProgram {
+    fn compiled(&self) -> &CompiledProgram {
+        &self.inner.source
+    }
+
+    fn check_compatible(&self, runtime: &Runtime) -> Result<(), PodsError> {
+        if self.inner.partition_cfg != runtime.opts.partition {
+            return Err(PodsError::PreparedMismatch);
+        }
+        Ok(())
+    }
+
+    fn prepared(&self, runtime: &Runtime) -> Result<PreparedProgram, PodsError> {
+        self.check_compatible(runtime)?;
+        Ok((*self).clone())
     }
 }
 

@@ -58,6 +58,27 @@ pub enum Operand {
     Bool(bool),
 }
 
+impl std::hash::Hash for Operand {
+    /// Structural hash used by [`crate::SpProgram::fingerprint`].
+    /// Hand-written because `f64` has no `Hash`; float immediates hash by
+    /// bit pattern. Note this is *stricter* than the derived `PartialEq`:
+    /// `0.0` and `-0.0` compare equal but hash differently, and NaNs with
+    /// one payload compare unequal but hash equally — so this type must not
+    /// be used as a hash-map key. For fingerprinting that skew is harmless:
+    /// identical translations produce bit-identical immediates, and a
+    /// spurious fingerprint difference can at worst miss a cache, never
+    /// alias two different programs.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Operand::Slot(s) => s.hash(state),
+            Operand::Int(v) => v.hash(state),
+            Operand::Float(v) => v.to_bits().hash(state),
+            Operand::Bool(v) => v.hash(state),
+        }
+    }
+}
+
 impl Operand {
     /// The slot read by this operand, if any.
     pub fn slot(&self) -> Option<SlotId> {
@@ -86,7 +107,7 @@ impl std::fmt::Display for Operand {
 }
 
 /// One instruction of an SP template.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Instr {
     /// `dst <- op(lhs, rhs)`.
     Binary {

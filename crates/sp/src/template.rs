@@ -296,6 +296,29 @@ impl SpProgram {
     pub fn total_instructions(&self) -> usize {
         self.templates.iter().map(|t| t.code.len()).sum()
     }
+
+    /// A structural fingerprint of the program: a 64-bit hash over the entry
+    /// point and every template's name, frame layout, and instruction
+    /// sequence. Two programs with equal code (including partitioner
+    /// rewrites — `LD` conversion, Range-Filter prologues) fingerprint
+    /// equally; any code or layout difference changes the hash with
+    /// overwhelming probability. Prepared-program caches use this to
+    /// identify and cross-check partitioned programs without comparing
+    /// instruction streams.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.entry.hash(&mut h);
+        self.templates.len().hash(&mut h);
+        for t in &self.templates {
+            t.id.hash(&mut h);
+            t.name.hash(&mut h);
+            t.params.hash(&mut h);
+            t.num_slots.hash(&mut h);
+            t.code.hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 /// Convenience helpers for building operands in tests and the translator.
@@ -434,6 +457,39 @@ mod tests {
         assert_eq!(program.total_instructions(), 9);
         assert!(!program.is_empty());
         assert!(program.template(SpId(0)).disassemble().contains("SP0"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_identity() {
+        let make = || {
+            let loop_t = tiny_loop_template();
+            let functions = HashMap::from([("main".to_string(), SpId(0))]);
+            SpProgram::new(vec![loop_t], functions, SpId(0))
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal code, equal hash");
+
+        // Any partitioner-style rewrite must change the fingerprint.
+        let mut c = make();
+        c.templates_mut()[0].insert_prologue(vec![Instr::Move {
+            dst: SlotId(2),
+            src: Operand::Int(0),
+        }]);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "rewritten code, new hash");
+
+        // Immediate operands participate, including float bit patterns.
+        let mut d = make();
+        d.templates_mut()[0].code[0] = Instr::Move {
+            dst: SlotId(2),
+            src: Operand::Float(1.5),
+        };
+        let mut e = make();
+        e.templates_mut()[0].code[0] = Instr::Move {
+            dst: SlotId(2),
+            src: Operand::Float(2.5),
+        };
+        assert_ne!(d.fingerprint(), e.fingerprint());
     }
 
     #[test]

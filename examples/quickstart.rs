@@ -53,10 +53,14 @@ fn main() -> Result<(), pods::PodsError> {
 
     // The same compiled program runs unchanged on real threads: a native
     // Runtime owns a persistent work-stealing pool, so back-to-back runs
-    // (different problem sizes here) reuse the same worker threads.
+    // (different problem sizes here) reuse the same worker threads. The
+    // program is prepared once — the clone/partition/read-slot-table work
+    // is paid here, and every run below is pure job submission.
     let runtime = Runtime::builder(EngineKind::Native).workers(4).build();
+    let prepared = runtime.prepare(&program);
+    println!("prepared: {prepared:?}");
     for n in [8i64, 16, 24] {
-        let native = runtime.run(&program, &[Value::Int(n)])?;
+        let native = runtime.run(&prepared, &[Value::Int(n)])?;
         let native_array = native.returned_array().expect("array result");
         let EngineStats::Native { stats, .. } = native.stats else {
             unreachable!("native runtime reports native stats");

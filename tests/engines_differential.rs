@@ -46,64 +46,74 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
     for kind in EngineKind::ALL {
         let engine = kind.name();
         // One runtime per (engine, machine size): the native pool is reused
-        // across every workload size swept below.
+        // across every workload size swept below. The native engine also
+        // runs with unbatched (1) and batched (16) wake-up delivery — the
+        // batching must be invisible to results.
+        let batches: &[usize] = if kind == EngineKind::Native {
+            &[1, 16]
+        } else {
+            &[16]
+        };
         for &pes in pe_counts {
-            let runtime = Runtime::builder(kind).workers(pes).build();
-            let outcome = runtime
-                .run(&program, args)
-                .unwrap_or_else(|e| panic!("{name}: engine `{engine}` on {pes} PEs failed: {e}"));
-
-            // Return values agree. Array references are compared through
-            // the arrays they denote (allocation *ids* legitimately differ
-            // across engines: the simulator's split-phase allocations can
-            // complete out of program order).
-            match (&oracle.return_value, &outcome.return_value) {
-                (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {
-                    let a = oracle.returned_array().expect("oracle returned array");
-                    let b = outcome.returned_array().expect("engine returned array");
-                    assert_eq!(
-                        a.name, b.name,
-                        "{name}/{engine}/{pes}: returned array identity"
-                    );
-                }
-                (Some(a), Some(b)) => {
-                    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
-                        assert!(
-                            values_close(x, y),
-                            "{name}/{engine}/{pes}: return value {y} != oracle {x}"
-                        );
-                    } else {
-                        assert_eq!(a, b, "{name}/{engine}/{pes}: return value mismatch");
-                    }
-                }
-                (a, b) => assert_eq!(a, b, "{name}/{engine}/{pes}: return value presence"),
-            }
-
-            // Every array the oracle allocated exists (matched by source
-            // name) with identical shape and element-wise identical
-            // contents.
-            assert_eq!(
-                oracle.arrays.len(),
-                outcome.arrays.len(),
-                "{name}/{engine}/{pes}: array count"
-            );
-            for expected in &oracle.arrays {
-                let got = outcome.array(&expected.name).unwrap_or_else(|| {
-                    panic!("{name}/{engine}/{pes}: array `{}` missing", expected.name)
+            for &batch in batches {
+                let runtime = Runtime::builder(kind)
+                    .workers(pes)
+                    .delivery_batch(batch)
+                    .build();
+                let outcome = runtime.run(&program, args).unwrap_or_else(|e| {
+                    panic!("{name}: engine `{engine}` on {pes} PEs (batch {batch}) failed: {e}")
                 });
+
+                // Return values agree. Array references are compared through
+                // the arrays they denote (allocation *ids* legitimately differ
+                // across engines: the simulator's split-phase allocations can
+                // complete out of program order).
+                let label = format!("{name}/{engine}/{pes}/batch{batch}");
+                match (&oracle.return_value, &outcome.return_value) {
+                    (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {
+                        let a = oracle.returned_array().expect("oracle returned array");
+                        let b = outcome.returned_array().expect("engine returned array");
+                        assert_eq!(a.name, b.name, "{label}: returned array identity");
+                    }
+                    (Some(a), Some(b)) => {
+                        if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+                            assert!(
+                                values_close(x, y),
+                                "{label}: return value {y} != oracle {x}"
+                            );
+                        } else {
+                            assert_eq!(a, b, "{label}: return value mismatch");
+                        }
+                    }
+                    (a, b) => assert_eq!(a, b, "{label}: return value presence"),
+                }
+
+                // Every array the oracle allocated exists (matched by source
+                // name) with identical shape and element-wise identical
+                // contents.
                 assert_eq!(
-                    expected.shape, got.shape,
-                    "{name}/{engine}/{pes}: shape of `{}`",
-                    expected.name
+                    oracle.arrays.len(),
+                    outcome.arrays.len(),
+                    "{label}: array count"
                 );
-                let ev = expected.to_f64(f64::NAN);
-                let gv = got.to_f64(f64::NAN);
-                for (i, (a, b)) in ev.iter().zip(&gv).enumerate() {
-                    assert!(
-                        values_close(*a, *b),
-                        "{name}/{engine}/{pes}: `{}`[{i}] = {b}, oracle {a}",
+                for expected in &oracle.arrays {
+                    let got = outcome
+                        .array(&expected.name)
+                        .unwrap_or_else(|| panic!("{label}: array `{}` missing", expected.name));
+                    assert_eq!(
+                        expected.shape, got.shape,
+                        "{label}: shape of `{}`",
                         expected.name
                     );
+                    let ev = expected.to_f64(f64::NAN);
+                    let gv = got.to_f64(f64::NAN);
+                    for (i, (a, b)) in ev.iter().zip(&gv).enumerate() {
+                        assert!(
+                            values_close(*a, *b),
+                            "{label}: `{}`[{i}] = {b}, oracle {a}",
+                            expected.name
+                        );
+                    }
                 }
             }
         }

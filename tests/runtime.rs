@@ -4,8 +4,8 @@
 //! warm pool over cold `run_on` calls.
 
 use pods::{
-    CompiledProgram, EngineKind, EngineOutcome, EngineStats, NativeStats, RunOptions, Runtime,
-    Value,
+    CompiledProgram, EngineKind, EngineOutcome, EngineStats, NativeStats, PartitionConfig,
+    RunOptions, Runtime, Value,
 };
 
 fn native_stats(outcome: &EngineOutcome) -> NativeStats {
@@ -269,6 +269,239 @@ fn warm_runtime_amortises_pool_spawn_over_cold_run_on() {
          warm {warm_best:.0} us vs cold {cold_best:.0} us. \
          On a co-tenanted machine set PODS_SKIP_SPEEDUP_ASSERT=1."
     );
+}
+
+#[test]
+fn one_prepared_handle_serves_run_run_many_and_many_threads() {
+    // The same PreparedProgram handle through every submission path — and
+    // every result identical to the sequential oracle.
+    let program = pods::compile(pods_workloads::STENCIL).unwrap();
+    let oracle12 = oracle_for(&program, &[Value::Int(12)]);
+    let oracle16 = oracle_for(&program, &[Value::Int(16)]);
+    let runtime = Runtime::builder(EngineKind::Native).workers(4).build();
+    let prepared = runtime.prepare(&program);
+
+    // run
+    let outcome = runtime.run(&prepared, &[Value::Int(12)]).unwrap();
+    assert_matches_oracle("prepared run", &outcome, &oracle12);
+
+    // run_many (homogeneous prepared batch)
+    let a12: &[Value] = &[Value::Int(12)];
+    let a16: &[Value] = &[Value::Int(16)];
+    let results = runtime.run_many(&[(&prepared, a12), (&prepared, a16), (&prepared, a12)]);
+    for (i, (result, oracle)) in results
+        .iter()
+        .zip([&oracle12, &oracle16, &oracle12])
+        .enumerate()
+    {
+        let outcome = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("prepared run_many job {i} failed: {e}"));
+        assert_matches_oracle(&format!("prepared run_many job {i}"), outcome, oracle);
+    }
+
+    // many OS threads sharing one handle and one runtime
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let (runtime, prepared) = (&runtime, &prepared);
+            let (oracle12, oracle16) = (&oracle12, &oracle16);
+            scope.spawn(move || {
+                for k in 0..3 {
+                    let (args, oracle) = if (t + k) % 2 == 0 {
+                        (a12, oracle12)
+                    } else {
+                        (a16, oracle16)
+                    };
+                    let outcome = runtime.run(prepared, args).unwrap();
+                    assert_matches_oracle(&format!("thread {t} run {k}"), &outcome, oracle);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn prepared_handles_cross_runtimes_with_different_worker_counts() {
+    // Partitioning is machine-size-independent, so a handle prepared on a
+    // 1-worker runtime runs on 2- and 4-worker runtimes (and on modelled
+    // runtimes), matching the oracle everywhere.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(16)]);
+    let one = Runtime::builder(EngineKind::Native).workers(1).build();
+    let prepared = one.prepare(&program);
+    for workers in [2, 4] {
+        let other = Runtime::builder(EngineKind::Native)
+            .workers(workers)
+            .build();
+        let outcome = other.run(&prepared, &[Value::Int(16)]).unwrap();
+        assert_matches_oracle(
+            &format!("prepared on 1, run on {workers}"),
+            &outcome,
+            &oracle,
+        );
+    }
+    let sim = Runtime::builder(EngineKind::Sim).workers(2).build();
+    let outcome = sim.run(&prepared, &[Value::Int(16)]).unwrap();
+    assert_matches_oracle("prepared handle on a sim runtime", &outcome, &oracle);
+}
+
+#[test]
+fn prepared_handles_reject_mismatched_partition_configs() {
+    // A handle prepared under the paper's partitioning must not silently
+    // run on a runtime configured for sequential partitioning — that would
+    // execute a differently-rewritten program than the runtime promises.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let default_rt = Runtime::builder(EngineKind::Native).workers(2).build();
+    let prepared = default_rt.prepare(&program);
+    let sequential_rt = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .partition(PartitionConfig::sequential())
+        .build();
+    let err = sequential_rt
+        .run(&prepared, &[Value::Int(8)])
+        .expect_err("mismatched partition config must be rejected");
+    assert!(
+        matches!(err, pods::PodsError::PreparedMismatch),
+        "unexpected error: {err:?}"
+    );
+    assert!(
+        err.to_string().contains("partition"),
+        "error must explain the mismatch: {err}"
+    );
+    // The sequential runtime still runs the raw program (it prepares its
+    // own), and the default runtime still accepts its own handle.
+    assert!(sequential_rt.run(&program, &[Value::Int(8)]).is_ok());
+    assert!(default_rt.run(&prepared, &[Value::Int(8)]).is_ok());
+
+    // The rejection is uniform across engines: a modelled runtime with a
+    // mismatched partitioner config refuses the handle just like the
+    // native runtime does, instead of silently running its own rewrite.
+    let sim_sequential = Runtime::builder(EngineKind::Sim)
+        .workers(2)
+        .partition(PartitionConfig::sequential())
+        .build();
+    assert!(matches!(
+        sim_sequential.run(&prepared, &[Value::Int(8)]),
+        Err(pods::PodsError::PreparedMismatch)
+    ));
+}
+
+#[test]
+fn raw_submissions_share_one_cached_preparation() {
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+    assert_eq!(runtime.prepared_cache_size(), 0);
+    runtime.run(&program, &[Value::Int(8)]).unwrap();
+    assert_eq!(
+        runtime.prepared_cache_size(),
+        1,
+        "a raw run must seed the cache"
+    );
+    // Repeat runs and explicit prepares all resolve to the same preparation.
+    let p1 = runtime.prepare(&program);
+    runtime.run(&program, &[Value::Int(12)]).unwrap();
+    let p2 = runtime.prepare(&program);
+    assert!(p1.same_preparation(&p2), "cache hit must share the Arc");
+    assert_eq!(p1.fingerprint(), p2.fingerprint());
+    assert_eq!(p1.identity(), program.identity());
+    assert_eq!(runtime.prepared_cache_size(), 1);
+
+    // A cache-disabled runtime re-prepares every time (the benchmark
+    // control): fresh Arcs, identical fingerprints.
+    let uncached = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .prepared_cache_capacity(0)
+        .build();
+    let u1 = uncached.prepare(&program);
+    let u2 = uncached.prepare(&program);
+    assert!(!u1.same_preparation(&u2));
+    assert_eq!(u1.fingerprint(), u2.fingerprint());
+    assert_eq!(uncached.prepared_cache_size(), 0);
+}
+
+#[test]
+fn prepared_cache_evicts_least_recently_used() {
+    let programs: Vec<CompiledProgram> = (0..4)
+        .map(|k| pods::compile(&format!("def main(n) {{ return n + {k}; }}")).unwrap())
+        .collect();
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(1)
+        .prepared_cache_capacity(2)
+        .build();
+    let first = runtime.prepare(&programs[0]);
+    runtime.prepare(&programs[1]);
+    // Touch program 0 so program 1 is the LRU victim when 2 arrives.
+    let hit = runtime.prepare(&programs[0]);
+    assert!(first.same_preparation(&hit));
+    runtime.prepare(&programs[2]);
+    assert_eq!(runtime.prepared_cache_size(), 2);
+    let again = runtime.prepare(&programs[0]);
+    assert!(
+        first.same_preparation(&again),
+        "recently-used entry must survive eviction"
+    );
+    // And everything still runs correctly from whatever cache state.
+    for (k, program) in programs.iter().enumerate() {
+        let outcome = runtime.run(program, &[Value::Int(10)]).unwrap();
+        assert_eq!(outcome.return_value, Some(Value::Int(10 + k as i64)));
+    }
+}
+
+#[test]
+fn huge_delivery_batches_never_strand_parked_instances() {
+    // A batch size far larger than any workload's wake-up count means the
+    // cap alone never forces a flush — only the task-boundary flushes keep
+    // consumers alive. If a boundary were missed, these runs would deadlock
+    // (the differential suite covers batch sizes 1 and 16; this covers
+    // "effectively unbounded").
+    for (name, source, n) in [
+        ("stencil", pods_workloads::STENCIL, 16i64),
+        ("recurrence", pods_workloads::RECURRENCE, 48),
+        ("matmul", pods_workloads::MATMUL, 5),
+    ] {
+        let program = pods::compile(source).unwrap();
+        let oracle = oracle_for(&program, &[Value::Int(n)]);
+        let runtime = Runtime::builder(EngineKind::Native)
+            .workers(4)
+            .delivery_batch(1 << 20)
+            .build();
+        let outcome = runtime
+            .run(&program, &[Value::Int(n)])
+            .unwrap_or_else(|e| panic!("{name} with huge batch failed: {e}"));
+        assert_matches_oracle(&format!("{name} with huge batch"), &outcome, &oracle);
+    }
+}
+
+#[test]
+fn dropping_a_batching_runtime_cancels_outstanding_jobs_cleanly() {
+    // Same drop semantics as the unbatched runtime: a deep backlog is cut
+    // short, every waiter resolves (completed or cancelled), nothing hangs
+    // on an unflushed delivery buffer.
+    let program = pods::compile(pods_workloads::STENCIL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .delivery_batch(64)
+        .build();
+    let args = [Value::Int(24)];
+    let prepared = runtime.prepare(&program);
+    let handles: Vec<_> = (0..16)
+        .map(|_| runtime.submit(&prepared, &args).unwrap())
+        .collect();
+    drop(runtime);
+    for (i, handle) in handles.into_iter().enumerate() {
+        // Must resolve promptly — completed jobs return results, the rest
+        // report cancellation. Either way, no waiter is stranded.
+        match handle.wait() {
+            Ok(outcome) => assert!(
+                outcome.returned_array().unwrap().is_complete(),
+                "job {i} completed with holes"
+            ),
+            Err(e) => assert!(
+                e.to_string().contains("cancelled"),
+                "job {i}: unexpected error {e}"
+            ),
+        }
+    }
 }
 
 #[test]
