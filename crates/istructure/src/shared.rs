@@ -14,12 +14,21 @@
 //!   re-activate the blocked computations (the paper's "presence bit +
 //!   deferred-read queue" protocol, §4.1, lifted onto threads).
 //!
+//! The waiter tag type `T` is deliberately opaque, which lets one store
+//! serve two wake-up protocols: the native engine's *parked-instance
+//! mailboxes* (tags are plain `(instance, slot)` ids resolved against a
+//! job-global scheduler) and the async engine's *wakers* (tags carry an
+//! `Arc` of the suspended task itself, so the writer re-activates it by
+//! locking only that task — the `Waker` half of a futures executor).
+//!
 //! Synchronisation is per-cell (`Mutex` around each element), so writes and
-//! reads to distinct elements never contend, and the array directory is an
-//! `RwLock`ed map that is only write-locked during allocation. The store is
-//! shared between workers via `Arc`; headers carry the same
-//! [`Partitioning`] the simulator uses, so Range Filters compute identical
-//! per-worker responsibility ranges in both execution modes.
+//! reads to distinct elements never contend, and the array directory is
+//! *sharded*: a fixed number of `RwLock`ed maps keyed by array id, so
+//! directory lookups of different arrays rarely touch the same lock and an
+//! allocation write-locks only one shard. The store is shared between
+//! workers via `Arc`; headers carry the same [`Partitioning`] the simulator
+//! uses, so Range Filters compute identical per-worker responsibility
+//! ranges in both execution modes.
 
 use crate::error::IStructureError;
 use crate::header::{ArrayHeader, ArrayId};
@@ -179,15 +188,26 @@ impl<T> SharedArray<T> {
     }
 }
 
+/// Number of fixed directory shards. Arrays land on `id % 16`; ids are
+/// assigned sequentially by the engines, so consecutive allocations spread
+/// round-robin across the shards.
+const DIRECTORY_SHARDS: usize = 16;
+
 /// A concurrent, `Arc`-shared directory of I-structure arrays.
 ///
 /// The waiter tag type `T` identifies the blocked computation to re-activate
-/// when a deferred element is finally written (the native engine uses an
-/// `(instance, slot)` pair, mirroring the simulator's `memory`
-/// tokens).
+/// when a deferred element is finally written: the native engine uses an
+/// `(instance, slot)` pair resolved against its scheduler, the async engine
+/// a waker (an `Arc` of the suspended task plus the slot).
+///
+/// The directory is split into a fixed number of independently locked
+/// maps (16 shards) keyed by array id. Per-task caching already hides directory lookups
+/// on the hot path; sharding removes the residual cold-path contention —
+/// first-touch lookups and allocations of distinct arrays proceed in
+/// parallel instead of serialising on one `RwLock`.
 #[derive(Debug)]
 pub struct SharedArrayStore<T> {
-    arrays: RwLock<HashMap<ArrayId, Arc<SharedArray<T>>>>,
+    shards: Vec<RwLock<HashMap<ArrayId, Arc<SharedArray<T>>>>>,
     /// Allocation order, so result snapshots match the simulator's.
     order: Mutex<Vec<ArrayId>>,
 }
@@ -195,7 +215,9 @@ pub struct SharedArrayStore<T> {
 impl<T> Default for SharedArrayStore<T> {
     fn default() -> Self {
         SharedArrayStore {
-            arrays: RwLock::new(HashMap::new()),
+            shards: (0..DIRECTORY_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             order: Mutex::new(Vec::new()),
         }
     }
@@ -205,6 +227,11 @@ impl<T> SharedArrayStore<T> {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The shard holding (or destined to hold) the given array.
+    fn shard(&self, id: ArrayId) -> &RwLock<HashMap<ArrayId, Arc<SharedArray<T>>>> {
+        &self.shards[id.0 % DIRECTORY_SHARDS]
     }
 
     /// Allocates an array with the given header parameters.
@@ -234,20 +261,24 @@ impl<T> SharedArrayStore<T> {
                 .map(|_| Mutex::new(SharedCell::default()))
                 .collect(),
         });
-        let mut arrays = self.arrays.write().expect("shared store poisoned");
+        let mut arrays = self.shard(id).write().expect("shared store poisoned");
         if arrays.contains_key(&id) {
             return Err(IStructureError::DuplicateArray { array: id });
         }
         arrays.insert(id, array);
-        // Take the order lock while still holding the directory write lock
-        // so a concurrent allocate cannot interleave between the two.
+        // Take the order lock while still holding the shard write lock so a
+        // racing duplicate allocate of the *same* id cannot interleave
+        // between the insert and the order push (allocations of different
+        // ids may interleave freely — whichever push lands first *is* the
+        // allocation order).
         self.order.lock().expect("shared store poisoned").push(id);
         Ok(())
     }
 
-    /// The array with the given id, if allocated.
+    /// The array with the given id, if allocated. Read-locks only the
+    /// shard the id hashes to.
     pub fn array(&self, id: ArrayId) -> Option<Arc<SharedArray<T>>> {
-        self.arrays
+        self.shard(id)
             .read()
             .expect("shared store poisoned")
             .get(&id)
@@ -262,17 +293,16 @@ impl<T> SharedArrayStore<T> {
 
     /// Number of arrays allocated so far.
     pub fn num_arrays(&self) -> usize {
-        self.arrays.read().expect("shared store poisoned").len()
+        self.order.lock().expect("shared store poisoned").len()
     }
 
     /// Snapshots of every array in allocation order:
     /// `(id, name, shape, values)`.
     pub fn snapshots(&self) -> Vec<(ArrayId, String, ArrayShape, Vec<Option<Value>>)> {
         let order = self.order.lock().expect("shared store poisoned").clone();
-        let arrays = self.arrays.read().expect("shared store poisoned");
         order
             .iter()
-            .filter_map(|id| arrays.get(id))
+            .filter_map(|id| self.array(*id))
             .map(|a| {
                 (
                     a.header.id(),
@@ -406,6 +436,60 @@ mod tests {
         assert_eq!(snaps[1].1, "b");
         assert_eq!(snaps[1].3[0], Some(Value::Bool(true)));
         assert_eq!(s.num_arrays(), 2);
+    }
+
+    #[test]
+    fn sharded_directory_preserves_order_ids_and_duplicate_detection() {
+        // More arrays than shards, allocated from several threads: every id
+        // resolvable, allocation order = push order, duplicates of an id
+        // already in a shard still rejected, and `num_arrays` exact.
+        let s = Arc::new(SharedArrayStore::<usize>::new());
+        let per_thread = 2 * DIRECTORY_SHARDS;
+        let threads = 4;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for k in 0..per_thread {
+                    let id = ArrayId(t * per_thread + k);
+                    s.allocate(
+                        id,
+                        format!("a{}", id.0),
+                        ArrayShape::vector(1 + id.0 % 3),
+                        Partitioning::new(1 + id.0 % 3, 8, 2),
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = threads * per_thread;
+        assert_eq!(s.num_arrays(), total);
+        for id in 0..total {
+            let a = s.require(ArrayId(id)).unwrap();
+            assert_eq!(a.header().id(), ArrayId(id));
+            assert_eq!(a.header().name(), format!("a{id}"));
+            // Allocating the same id again fails regardless of which shard
+            // it lives in.
+            assert!(matches!(
+                s.allocate(
+                    ArrayId(id),
+                    "dup",
+                    ArrayShape::vector(1),
+                    Partitioning::new(1, 8, 1)
+                ),
+                Err(IStructureError::DuplicateArray { .. })
+            ));
+        }
+        // Snapshots follow the recorded allocation order exactly and cover
+        // every array once.
+        let snaps = s.snapshots();
+        assert_eq!(snaps.len(), total);
+        let mut seen: Vec<usize> = snaps.iter().map(|(id, ..)| id.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..total).collect::<Vec<_>>());
     }
 
     #[test]

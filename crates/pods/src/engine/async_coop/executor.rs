@@ -1,0 +1,898 @@
+//! The cooperative executor: per-worker run queues, work stealing over
+//! *tasks*, and per-job state mirroring the native engine's `Job` model.
+//!
+//! The worker threads here are dumb pollers: pop a task, check its frame
+//! out, run SP instructions until the task finishes or returns `Pending`
+//! (suspends on an absent slot), then pop the next task. All blocking
+//! state lives in the tasks themselves (see [`super::task`]): there is no
+//! blocked-instance registry and no mailbox map, so delivering a value
+//! locks only the receiving task. The job-global liveness counters (for
+//! deadlock detection) and the executor's ready count are still shared
+//! locks, but they are taken once per *flush* and per woken batch, not
+//! once per delivered value.
+//!
+//! Per-job state is the same model the native engine uses — one I-structure
+//! store, `live`/`in_flight` liveness counts, first-error slot, result
+//! slot, done condvar, drop-cancellation via a pool-wide stop flag — so the
+//! two schedulers are directly comparable: any difference in their stats is
+//! scheduling overhead, not protocol difference.
+
+use super::task::{AsyncWaiter, Frame, TaskHandle};
+use super::AsyncStats;
+use crate::engine::native::{JobSpec, NEXT_POOL_ID};
+use crate::engine::{
+    cancellation_error, EngineOutcome, EngineStats, InstanceArena, JobCounts, ReadSlots,
+};
+use crate::error::PodsError;
+use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
+use pods_machine::{eval_binary, eval_unary, ArraySnapshot, InstanceId, SimulationError};
+use pods_partition::PartitionReport;
+use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What executing one instruction asks the poll loop to do next.
+enum Step {
+    Next,
+    Jump(usize),
+    /// Suspend on the slot; the program counter is already past the
+    /// issuing instruction.
+    Pending(SlotId),
+    Finished(Option<Value>),
+}
+
+/// Per-poll memo of array directory lookups (see
+/// [`crate::engine::ArrayCache`], shared with the native engine).
+type ArrayCache = crate::engine::ArrayCache<AsyncWaiter>;
+
+/// State owned by one worker thread and reused across every poll: the
+/// waker delivery buffer, the shared frame arena, and a scratch vector for
+/// marshalling spawn arguments (mirroring the native engine's
+/// `WorkerCtx`). Invariant: `delivery` is empty between polls.
+#[derive(Default)]
+struct WorkerCtx {
+    delivery: Vec<(AsyncWaiter, Value)>,
+    arena: InstanceArena,
+    spawn_args: Vec<Value>,
+}
+
+/// A note about the most recent suspension, kept for deadlock diagnostics
+/// (the async engine has no blocked registry to walk, so it remembers the
+/// last suspension instead).
+#[derive(Clone, Copy)]
+struct SuspendInfo {
+    inst: InstanceId,
+    template: SpId,
+    pc: usize,
+    slot: SlotId,
+}
+
+/// Everything scoped to one submitted program execution on the cooperative
+/// executor. Tasks do not point back at their job; the run-queue entries
+/// carry the job `Arc`, so a failed job's suspended tasks are released as
+/// soon as its store (holding their wakers) is dropped.
+pub(crate) struct AsyncJob {
+    seq: u64,
+    pool_id: u64,
+    program: Arc<SpProgram>,
+    read_slots: Arc<ReadSlots>,
+    store: SharedArrayStore<AsyncWaiter>,
+    counts: Mutex<JobCounts>,
+    last_suspend: Mutex<Option<SuspendInfo>>,
+    stop: AtomicBool,
+    error: Mutex<Option<SimulationError>>,
+    result: Mutex<Option<Value>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    entry: InstanceId,
+    workers: usize,
+    page_size: usize,
+    /// 0 = unlimited; otherwise abort after this many polls (the async
+    /// analogue of the simulator's event limit and the native task limit).
+    max_polls: u64,
+    delivery_batch: usize,
+    next_instance: AtomicU64,
+    next_array: AtomicUsize,
+    polls: AtomicU64,
+    suspensions: AtomicU64,
+    resumptions: AtomicU64,
+    steals: AtomicU64,
+    wakeups: AtomicU64,
+    wakeup_flushes: AtomicU64,
+    arena_reuses: AtomicU64,
+}
+
+impl AsyncJob {
+    /// Records the first error and stops the job (not the pool).
+    fn fail(&self, err: SimulationError) {
+        {
+            let mut slot = self.error.lock().expect("error poisoned");
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        self.complete();
+    }
+
+    /// Marks the job finished and wakes every `wait`er.
+    fn complete(&self) {
+        *self.done.lock().expect("done poisoned") = true;
+        self.done_cv.notify_all();
+    }
+
+    fn stats(&self) -> AsyncStats {
+        AsyncStats {
+            workers: self.workers,
+            instances: self.next_instance.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            suspensions: self.suspensions.load(Ordering::Relaxed),
+            resumptions: self.resumptions.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            pool_id: self.pool_id,
+            job_seq: self.seq,
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
+            arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A runnable unit on the executor: one task of one job.
+struct RunEntry {
+    job: Arc<AsyncJob>,
+    task: Arc<TaskHandle>,
+}
+
+/// Executor-wide scheduling state.
+struct Coord {
+    /// Queued entries across all run queues (the condvar predicate).
+    ready: isize,
+    /// Set only when the executor itself is being torn down.
+    shutdown: bool,
+}
+
+struct ExecShared {
+    id: u64,
+    workers: usize,
+    queues: Vec<Mutex<VecDeque<RunEntry>>>,
+    coord: Mutex<Coord>,
+    cv: Condvar,
+    jobs_submitted: AtomicU64,
+    /// Cheap teardown flag checked between instructions, so dropping the
+    /// pool aborts in-flight jobs at the next instruction boundary.
+    stop: AtomicBool,
+}
+
+impl ExecShared {
+    fn lock_coord(&self) -> std::sync::MutexGuard<'_, Coord> {
+        self.coord.lock().expect("coord poisoned")
+    }
+
+    /// No queued or running task of the job remains but tasks are still
+    /// suspended: nothing can ever deliver their operands.
+    fn report_deadlock(&self, job: &AsyncJob) {
+        let stuck = job.counts.lock().expect("counts poisoned").live;
+        let detail = job
+            .last_suspend
+            .lock()
+            .expect("last_suspend poisoned")
+            .map(|s| {
+                format!(
+                    "inst{} of {} suspended at pc {} awaiting {}",
+                    s.inst.0,
+                    job.program.template(s.template).name,
+                    s.pc,
+                    s.slot
+                )
+            })
+            .unwrap_or_default();
+        job.fail(SimulationError::Deadlock {
+            stuck_instances: stuck.max(1),
+            detail,
+        });
+    }
+
+    /// Makes a task runnable on worker `w`'s queue. `new` marks a freshly
+    /// created task (as opposed to a resumed one).
+    fn enqueue(&self, w: usize, job: &Arc<AsyncJob>, task: Arc<TaskHandle>, new: bool) {
+        {
+            let mut c = job.counts.lock().expect("counts poisoned");
+            if new {
+                c.live += 1;
+            }
+            c.in_flight += 1;
+        }
+        self.lock_coord().ready += 1;
+        self.queues[w]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(RunEntry {
+                job: Arc::clone(job),
+                task,
+            });
+        self.cv.notify_one();
+    }
+
+    #[allow(clippy::too_many_arguments)] // hot path: a params struct would be built per spawn
+    fn spawn_task(
+        &self,
+        w: usize,
+        job: &Arc<AsyncJob>,
+        template_id: SpId,
+        args: &[Value],
+        pe: usize,
+        return_to: Option<(Arc<TaskHandle>, SlotId)>,
+        arena: &mut InstanceArena,
+    ) {
+        let id = InstanceId(job.next_instance.fetch_add(1, Ordering::Relaxed));
+        let num_slots = job.program.template(template_id).num_slots;
+        let (slots, reused) = arena.frame(num_slots, args);
+        if reused {
+            job.arena_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let task = Arc::new(TaskHandle::new(id, template_id, pe, slots, return_to));
+        self.enqueue(w, job, task, true);
+    }
+
+    /// Pops the next entry: own queue first (LIFO end for locality), then
+    /// steal from siblings (FIFO end, taking the oldest work).
+    fn pop_entry(&self, w: usize) -> Option<RunEntry> {
+        let own = self.queues[w].lock().expect("queue poisoned").pop_back();
+        let entry = own.or_else(|| {
+            (1..self.workers).find_map(|i| {
+                let victim = (w + i) % self.workers;
+                let stolen = self.queues[victim]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_front();
+                if let Some(e) = &stolen {
+                    e.job.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                stolen
+            })
+        });
+        if entry.is_some() {
+            self.lock_coord().ready -= 1;
+        }
+        entry
+    }
+
+    /// Delivers every buffered wake-up straight into its target task — one
+    /// per-task lock each, no scheduler-wide transaction — and re-queues
+    /// the tasks whose awaited slot arrived. Called when the buffer reaches
+    /// the job's `delivery_batch` and at every task boundary (suspend,
+    /// finish), so batching changes *when* deliveries happen, never whether
+    /// a wake lands before the liveness counters could observe a false
+    /// idle.
+    fn flush(&self, w: usize, job: &Arc<AsyncJob>, buf: &mut Vec<(AsyncWaiter, Value)>) {
+        if buf.is_empty() {
+            return;
+        }
+        job.wakeups.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        job.wakeup_flushes.fetch_add(1, Ordering::Relaxed);
+        let mut to_wake: Vec<Arc<TaskHandle>> = Vec::new();
+        for (waiter, value) in buf.drain(..) {
+            if waiter.task.deliver(waiter.slot, value) {
+                to_wake.push(waiter.task);
+            }
+        }
+        if to_wake.is_empty() {
+            return;
+        }
+        let woken = to_wake.len();
+        job.resumptions.fetch_add(woken as u64, Ordering::Relaxed);
+        {
+            let mut c = job.counts.lock().expect("counts poisoned");
+            c.in_flight += woken;
+        }
+        self.lock_coord().ready += woken as isize;
+        {
+            let mut q = self.queues[w].lock().expect("queue poisoned");
+            for task in to_wake {
+                q.push_back(RunEntry {
+                    job: Arc::clone(job),
+                    task,
+                });
+            }
+        }
+        if woken == 1 {
+            self.cv.notify_one();
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Suspends `task` on `slot` unless a racing delivery already filled it
+    /// (then the frame comes straight back and the poll continues).
+    /// `issued_pc` is the instruction that caused the wait (for deferred
+    /// loads the frame's pc has already advanced past it), so deadlock
+    /// diagnostics point at the blocking instruction, not its successor.
+    fn suspend(
+        &self,
+        job: &Arc<AsyncJob>,
+        task: &Arc<TaskHandle>,
+        frame: Frame,
+        slot: SlotId,
+        issued_pc: usize,
+    ) -> Option<Frame> {
+        let info = SuspendInfo {
+            inst: task.id,
+            template: task.template,
+            pc: issued_pc,
+            slot,
+        };
+        if let Some(still_running) = task.try_suspend(frame, slot) {
+            return Some(still_running);
+        }
+        *job.last_suspend.lock().expect("last_suspend poisoned") = Some(info);
+        job.suspensions.fetch_add(1, Ordering::Relaxed);
+        let mut c = job.counts.lock().expect("counts poisoned");
+        c.in_flight -= 1;
+        let deadlocked = c.in_flight == 0 && c.live > 0 && !job.stop.load(Ordering::Relaxed);
+        drop(c);
+        if deadlocked {
+            self.report_deadlock(job);
+        }
+        None
+    }
+
+    /// Terminates a task, routing its return value through the delivery
+    /// buffer and flushing it (a task boundary) before the liveness
+    /// counters give up this task's `in_flight` slot.
+    fn finish(
+        &self,
+        w: usize,
+        job: &Arc<AsyncJob>,
+        task: &Arc<TaskHandle>,
+        value: Option<Value>,
+        delivery: &mut Vec<(AsyncWaiter, Value)>,
+    ) {
+        task.retire();
+        if task.id == job.entry {
+            *job.result.lock().expect("result poisoned") = value;
+        } else if let (Some((parent, slot)), Some(v)) = (task.return_to.as_ref(), value) {
+            delivery.push((
+                AsyncWaiter {
+                    task: Arc::clone(parent),
+                    slot: *slot,
+                },
+                v,
+            ));
+        }
+        self.flush(w, job, delivery);
+        let mut c = job.counts.lock().expect("counts poisoned");
+        c.in_flight -= 1;
+        c.live -= 1;
+        let all_done = c.live == 0;
+        let deadlocked = !all_done && c.in_flight == 0 && !job.stop.load(Ordering::Relaxed);
+        drop(c);
+        if all_done {
+            job.complete();
+        } else if deadlocked {
+            self.report_deadlock(job);
+        }
+    }
+
+    /// Accounting for a task abandoned because its job errored out.
+    fn abandon(&self, job: &AsyncJob, task: &TaskHandle) {
+        task.retire();
+        let mut c = job.counts.lock().expect("counts poisoned");
+        c.in_flight -= 1;
+        c.live -= 1;
+    }
+
+    fn operand(&self, frame: &Frame, op: &Operand) -> Value {
+        match op {
+            Operand::Slot(s) => frame.slot(*s).unwrap_or(Value::Unit),
+            Operand::Int(v) => Value::Int(*v),
+            Operand::Float(v) => Value::Float(*v),
+            Operand::Bool(v) => Value::Bool(*v),
+        }
+    }
+
+    fn array_offset(
+        &self,
+        job: &AsyncJob,
+        cache: &mut ArrayCache,
+        frame: &Frame,
+        array: Value,
+        indices: &[Operand],
+    ) -> Result<(ArrayId, usize), String> {
+        let Some(id) = array.as_array() else {
+            return Err(format!("expected an array reference, found {array}"));
+        };
+        let idx: Vec<i64> = indices
+            .iter()
+            .map(|i| self.operand(frame, i).as_i64().unwrap_or(-1))
+            .collect();
+        let shared = cache.get(&job.store, id)?;
+        match shared.header().offset_of(&idx) {
+            Some(offset) => Ok((id, offset)),
+            None => Err(format!(
+                "index {idx:?} out of bounds for {} array `{}`",
+                shared.header().shape(),
+                shared.header().name()
+            )),
+        }
+    }
+
+    /// Executes one instruction. The semantics (operand coercion,
+    /// zero-dimension allocation, Range-Filter clamping, split-phase loads)
+    /// mirror the native engine exactly; only the suspension mechanics
+    /// differ — the differential test suite holds the two to byte-identical
+    /// results.
+    #[allow(clippy::too_many_arguments)] // hot path: a params struct would be built per instruction
+    fn execute(
+        &self,
+        job: &Arc<AsyncJob>,
+        cache: &mut ArrayCache,
+        task: &Arc<TaskHandle>,
+        frame: &mut Frame,
+        instr: &Instr,
+        w: usize,
+        ctx: &mut WorkerCtx,
+    ) -> Result<Step, String> {
+        match instr {
+            Instr::Binary { op, dst, lhs, rhs } => {
+                let a = self.operand(frame, lhs);
+                let b = self.operand(frame, rhs);
+                let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
+                frame.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Unary { op, dst, src } => {
+                let a = self.operand(frame, src);
+                let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
+                frame.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Move { dst, src } => {
+                let v = self.operand(frame, src);
+                frame.set_slot(*dst, v);
+                Ok(Step::Next)
+            }
+            Instr::Jump { target } => Ok(Step::Jump(*target)),
+            Instr::BranchIfFalse { cond, target } => {
+                if self.operand(frame, cond).as_bool().unwrap_or(false) {
+                    Ok(Step::Next)
+                } else {
+                    Ok(Step::Jump(*target))
+                }
+            }
+            Instr::ArrayAlloc {
+                dst,
+                name,
+                dims,
+                distributed,
+            } => {
+                let dim_values: Vec<usize> = dims
+                    .iter()
+                    .map(|d| self.operand(frame, d).as_i64().unwrap_or(0).max(0) as usize)
+                    .collect();
+                if dim_values.contains(&0) {
+                    return Err(format!("array `{name}` allocated with a zero dimension"));
+                }
+                let id = ArrayId(job.next_array.fetch_add(1, Ordering::Relaxed));
+                let total: usize = dim_values.iter().product();
+                let partitioning = if *distributed {
+                    Partitioning::new(total, job.page_size, job.workers)
+                } else {
+                    Partitioning::single_owner(total, job.page_size, job.workers, PeId(task.pe))
+                };
+                job.store
+                    .allocate(
+                        id,
+                        name.clone(),
+                        pods_istructure::ArrayShape::new(dim_values),
+                        partitioning,
+                    )
+                    .map_err(|e| e.to_string())?;
+                frame.set_slot(*dst, Value::ArrayRef(id));
+                Ok(Step::Next)
+            }
+            Instr::ArrayLoad {
+                dst,
+                array,
+                indices,
+            } => {
+                let array_v = self.operand(frame, array);
+                let (id, offset) = self.array_offset(job, cache, frame, array_v, indices)?;
+                let shared = cache.get(&job.store, id)?;
+                let waker = AsyncWaiter {
+                    task: Arc::clone(task),
+                    slot: *dst,
+                };
+                match shared.read(offset, waker).map_err(|e| e.to_string())? {
+                    SharedReadResult::Present(v) => {
+                        frame.set_slot(*dst, v);
+                        Ok(Step::Next)
+                    }
+                    SharedReadResult::Deferred => {
+                        // The producing write will wake the task through
+                        // the registered waker; resume after the load.
+                        frame.clear_slot(*dst);
+                        frame.pc += 1;
+                        Ok(Step::Pending(*dst))
+                    }
+                }
+            }
+            Instr::ArrayStore {
+                array,
+                indices,
+                value,
+            } => {
+                let array_v = self.operand(frame, array);
+                let v = self.operand(frame, value);
+                let (id, offset) = self.array_offset(job, cache, frame, array_v, indices)?;
+                let shared = cache.get(&job.store, id)?;
+                // Wakers land in the worker's delivery buffer; they fire
+                // when the buffer fills or at the next task boundary.
+                shared
+                    .write_into(offset, v, &mut ctx.delivery)
+                    .map_err(|e| e.to_string())?;
+                if ctx.delivery.len() >= job.delivery_batch {
+                    self.flush(w, job, &mut ctx.delivery);
+                }
+                Ok(Step::Next)
+            }
+            Instr::Spawn {
+                target,
+                args,
+                distributed,
+                ret,
+            } => {
+                // Marshal arguments into the worker's scratch vector (no
+                // per-spawn allocation; distributed spawns reuse one slice).
+                let WorkerCtx {
+                    arena, spawn_args, ..
+                } = ctx;
+                spawn_args.clear();
+                spawn_args.extend(args.iter().map(|a| self.operand(frame, a)));
+                let return_to = ret.map(|slot| {
+                    frame.clear_slot(slot);
+                    (Arc::clone(task), slot)
+                });
+                if *distributed {
+                    for q in 0..job.workers {
+                        let ret_here = if q == task.pe {
+                            return_to.clone()
+                        } else {
+                            None
+                        };
+                        self.spawn_task(w, job, *target, spawn_args, q, ret_here, arena);
+                    }
+                } else {
+                    self.spawn_task(w, job, *target, spawn_args, task.pe, return_to, arena);
+                }
+                Ok(Step::Next)
+            }
+            Instr::RangeLo {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            }
+            | Instr::RangeHi {
+                dst,
+                array,
+                dim,
+                default,
+                outer,
+            } => {
+                let is_lo = matches!(instr, Instr::RangeLo { .. });
+                let array_v = self.operand(frame, array);
+                let default_v = self.operand(frame, default).as_i64().unwrap_or(0);
+                let outer_v = outer
+                    .as_ref()
+                    .map(|o| self.operand(frame, o).as_i64().unwrap_or(0));
+                let Some(id) = array_v.as_array() else {
+                    return Err(format!("range filter on a non-array value {array_v}"));
+                };
+                let shared = cache.get(&job.store, id)?;
+                let range = shared.header().responsibility(PeId(task.pe), *dim, outer_v);
+                let value = if is_lo {
+                    default_v.max(range.start)
+                } else {
+                    default_v.min(range.end)
+                };
+                frame.set_slot(*dst, Value::Int(value));
+                Ok(Step::Next)
+            }
+            Instr::Return { value } => {
+                let v = value.as_ref().map(|op| self.operand(frame, op));
+                Ok(Step::Finished(v))
+            }
+        }
+    }
+
+    /// Polls one task: runs its instance until it finishes, suspends, or
+    /// its job stops. `ctx.delivery` is empty on entry and on every return
+    /// — progress exits flush, failure exits clear (the job is already
+    /// failing and the buffer must not leak into another job's poll).
+    /// Frames the worker still holds at a terminal exit (finish, error,
+    /// stop) are recycled into its arena; a suspension hands the frame
+    /// back to the task instead.
+    fn poll(&self, job: &Arc<AsyncJob>, task: &Arc<TaskHandle>, w: usize, ctx: &mut WorkerCtx) {
+        debug_assert!(ctx.delivery.is_empty(), "delivery buffer leaked a poll");
+        let executed = job.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        if job.max_polls > 0 && executed > job.max_polls {
+            job.fail(SimulationError::EventLimitExceeded {
+                limit: job.max_polls,
+            });
+            self.abandon(job, task);
+            return;
+        }
+        let mut frame = task.begin_poll();
+        let program = Arc::clone(&job.program);
+        let template = program.template(task.template);
+        let slot_table = &job.read_slots[task.template.index()];
+        let mut cache = ArrayCache::default();
+        loop {
+            if job.stop.load(Ordering::Relaxed) {
+                self.abandon(job, task);
+                ctx.delivery.clear();
+                ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                return;
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                // The pool is being torn down: cut the job short so its
+                // waiter gets a cancellation error instead of hanging.
+                job.fail(cancellation_error());
+                self.abandon(job, task);
+                ctx.delivery.clear();
+                ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                return;
+            }
+            if frame.pc >= template.code.len() {
+                self.finish(w, job, task, None, &mut ctx.delivery);
+                ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                return;
+            }
+            let instr = &template.code[frame.pc];
+            // Dataflow firing rule: every needed operand must be present.
+            if let Some(missing) = slot_table[frame.pc]
+                .iter()
+                .copied()
+                .find(|s| !frame.is_present(*s))
+            {
+                self.flush(w, job, &mut ctx.delivery);
+                let issued_pc = frame.pc;
+                match self.suspend(job, task, frame, missing, issued_pc) {
+                    Some(resumed) => {
+                        frame = resumed;
+                        continue;
+                    }
+                    None => return,
+                }
+            }
+            match self.execute(job, &mut cache, task, &mut frame, instr, w, ctx) {
+                Ok(Step::Next) => frame.pc += 1,
+                Ok(Step::Jump(target)) => frame.pc = target,
+                Ok(Step::Pending(slot)) => {
+                    self.flush(w, job, &mut ctx.delivery);
+                    // The deferred load advanced the pc past itself.
+                    let issued_pc = frame.pc - 1;
+                    match self.suspend(job, task, frame, slot, issued_pc) {
+                        Some(resumed) => frame = resumed,
+                        None => return,
+                    }
+                }
+                Ok(Step::Finished(v)) => {
+                    self.finish(w, job, task, v, &mut ctx.delivery);
+                    ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                    return;
+                }
+                Err(msg) => {
+                    job.fail(SimulationError::Runtime(msg));
+                    self.abandon(job, task);
+                    ctx.delivery.clear();
+                    ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn worker(&self, w: usize) {
+        let mut ctx = WorkerCtx::default();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                // Leave queued entries in place: `Drop` drains them and
+                // fails their jobs with the cancellation error.
+                return;
+            }
+            if let Some(entry) = self.pop_entry(w) {
+                self.poll(&entry.job, &entry.task, w, &mut ctx);
+                continue;
+            }
+            let c = self.lock_coord();
+            if c.shutdown {
+                return;
+            }
+            if c.ready <= 0 {
+                // Untimed wait is lost-wakeup-safe: `ready` is incremented
+                // under this mutex before any push, and the notify fires
+                // after the push.
+                let _unused = self.cv.wait(c).expect("coord poisoned");
+            }
+        }
+    }
+}
+
+/// A persistent cooperative executor: `workers` OS threads polling tasks
+/// from per-worker run queues with work stealing. Dropping the pool joins
+/// the threads; outstanding jobs — queued or in flight — are cut short at
+/// the next instruction boundary and fail with a cancellation error.
+pub(crate) struct AsyncPool {
+    shared: Arc<ExecShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl AsyncPool {
+    /// Spawns an executor of `workers` threads (at least one).
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(ExecShared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            workers,
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            coord: Mutex::new(Coord {
+                ready: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            jobs_submitted: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let threads = (0..workers)
+            .map(|w| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pods-async-{}-{w}", shared.id))
+                    .spawn(move || s.worker(w))
+                    .expect("spawn async worker")
+            })
+            .collect();
+        AsyncPool { shared, threads }
+    }
+
+    /// Process-unique identity of this pool.
+    pub(crate) fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Submits one prepared program for execution and returns a handle to
+    /// wait on. The [`JobSpec`] is the same `Arc`-shared program state the
+    /// native pool consumes, so prepared handles are engine-portable and a
+    /// warm submission allocates only per-job state. The entry task is
+    /// placed on a rotating home worker so concurrent jobs spread across
+    /// the pool.
+    pub(crate) fn submit(&self, spec: JobSpec, args: &[Value]) -> AsyncJobHandle {
+        let started = Instant::now();
+        let seq = self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let JobSpec {
+            program,
+            read_slots,
+            partition,
+            page_size,
+            max_tasks,
+            delivery_batch,
+        } = spec;
+        let entry_template = program.entry();
+        let job = Arc::new(AsyncJob {
+            seq,
+            pool_id: self.shared.id,
+            program,
+            read_slots,
+            store: SharedArrayStore::new(),
+            counts: Mutex::new(JobCounts::default()),
+            last_suspend: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            result: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            entry: InstanceId(0),
+            workers: self.shared.workers,
+            page_size,
+            max_polls: max_tasks,
+            delivery_batch: delivery_batch.max(1),
+            next_instance: AtomicU64::new(0),
+            next_array: AtomicUsize::new(0),
+            polls: AtomicU64::new(0),
+            suspensions: AtomicU64::new(0),
+            resumptions: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            wakeup_flushes: AtomicU64::new(0),
+            arena_reuses: AtomicU64::new(0),
+        });
+        let home = (seq as usize - 1) % self.shared.workers;
+        // Submission happens off the worker threads, so the entry frame
+        // comes from a throwaway arena (one allocation per job).
+        let mut arena = InstanceArena::default();
+        self.shared
+            .spawn_task(home, &job, entry_template, args, 0, None, &mut arena);
+        AsyncJobHandle {
+            job,
+            partition,
+            started,
+        }
+    }
+}
+
+impl Drop for AsyncPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        {
+            self.shared.lock_coord().shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            t.join().expect("async worker panicked");
+        }
+        // Jobs still queued when the pool dies would otherwise hang their
+        // waiters; fail them loudly instead.
+        for q in &self.shared.queues {
+            for entry in q.lock().expect("queue poisoned").drain(..) {
+                entry.job.fail(cancellation_error());
+            }
+        }
+    }
+}
+
+/// A handle to one submitted cooperative job. `wait` blocks until the job
+/// completes and assembles the uniform [`EngineOutcome`].
+pub(crate) struct AsyncJobHandle {
+    job: Arc<AsyncJob>,
+    partition: PartitionReport,
+    started: Instant,
+}
+
+impl AsyncJobHandle {
+    /// Whether the job has already completed (successfully or not).
+    pub(crate) fn is_done(&self) -> bool {
+        *self.job.done.lock().expect("done poisoned")
+    }
+
+    /// Blocks until the job completes and returns its outcome.
+    pub(crate) fn wait(self) -> Result<EngineOutcome, PodsError> {
+        let mut done = self.job.done.lock().expect("done poisoned");
+        while !*done {
+            done = self.job.done_cv.wait(done).expect("done poisoned");
+        }
+        drop(done);
+        if let Some(err) = self.job.error.lock().expect("error poisoned").take() {
+            return Err(err.into());
+        }
+        let wall_us = self.started.elapsed().as_secs_f64() * 1e6;
+        let arrays = self
+            .job
+            .store
+            .snapshots()
+            .into_iter()
+            .map(|(id, name, shape, values)| ArraySnapshot {
+                id,
+                name,
+                shape,
+                values,
+            })
+            .collect();
+        let return_value = self.job.result.lock().expect("result poisoned").take();
+        Ok(EngineOutcome {
+            engine: "async",
+            return_value,
+            arrays,
+            modelled_us: None,
+            wall_us,
+            stats: EngineStats::AsyncCoop {
+                stats: self.job.stats(),
+                partition: self.partition,
+            },
+        })
+    }
+}

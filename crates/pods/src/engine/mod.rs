@@ -1,4 +1,4 @@
-//! The execution layer of PODS: one [`Engine`] abstraction, four engines.
+//! The execution layer of PODS: one [`Engine`] abstraction, five engines.
 //!
 //! Historically the repository had three unrelated ways to execute a
 //! compiled program — the discrete-event machine simulator, the sequential
@@ -19,12 +19,17 @@
 //!   (`pods_baseline::run_sequential`); the correctness oracle.
 //! * [`PrEstimateEngine`] — the static-compilation cost model
 //!   (`pods_baseline::PrModel`) driven by a sequential profile.
-//! * [`NativeParallelEngine`] — the headline addition: executes the
-//!   partitioned SP program on a real work-stealing thread pool with a
-//!   thread-safe I-structure store, reporting *wall-clock* time on N OS
-//!   threads.
+//! * [`NativeParallelEngine`] — executes the partitioned SP program on a
+//!   real work-stealing thread pool with a thread-safe I-structure store,
+//!   reporting *wall-clock* time on N OS threads.
+//! * [`AsyncCoopEngine`] — the same partitioned program on a cooperative
+//!   executor: instances are futures-style resumable state machines,
+//!   suspended reads register *wakers* with the I-structure store, and a
+//!   per-worker run-queue scheduler with work stealing over tasks resumes
+//!   them — the scheduling-overhead comparison the paper's evaluation is
+//!   about.
 //!
-//! Engine selection is *typed*: [`EngineKind`] is the enum of the four
+//! Engine selection is *typed*: [`EngineKind`] is the enum of the five
 //! engines, parses every historical name and alias (`FromStr`), and maps to
 //! a `&'static` engine instance without allocation. The preferred way to
 //! execute programs is a [`crate::Runtime`] built from an `EngineKind`;
@@ -46,11 +51,14 @@
 //! # Ok::<(), pods::PodsError>(())
 //! ```
 
+mod async_coop;
 mod native;
 mod pr;
 mod seq;
 mod sim;
 
+pub use async_coop::{AsyncCoopEngine, AsyncStats};
+pub(crate) use async_coop::{AsyncJobHandle, AsyncPool};
 pub(crate) use native::{build_read_slots, JobSpec, NativeJobHandle, NativePool, ReadSlots};
 pub use native::{NativeParallelEngine, NativeStats};
 pub use pr::PrEstimateEngine;
@@ -122,6 +130,13 @@ pub enum EngineStats {
         /// The partitioner's per-loop decisions.
         partition: PartitionReport,
     },
+    /// Cooperative-executor statistics plus the partitioning decisions.
+    AsyncCoop {
+        /// Poll/suspension/resumption/steal counters from the executor.
+        stats: AsyncStats,
+        /// The partitioner's per-loop decisions.
+        partition: PartitionReport,
+    },
 }
 
 /// The uniform result of running a program on any [`Engine`].
@@ -175,16 +190,16 @@ impl EngineOutcome {
     /// The partition report, for engines that run the partitioned program.
     pub fn partition(&self) -> Option<&PartitionReport> {
         match &self.stats {
-            EngineStats::Simulated { partition, .. } | EngineStats::Native { partition, .. } => {
-                Some(partition)
-            }
+            EngineStats::Simulated { partition, .. }
+            | EngineStats::Native { partition, .. }
+            | EngineStats::AsyncCoop { partition, .. } => Some(partition),
             _ => None,
         }
     }
 }
 
 /// Names of all built-in engines, in canonical order.
-pub const ENGINE_NAMES: [&str; 4] = ["sim", "seq", "pr", "native"];
+pub const ENGINE_NAMES: [&str; 5] = ["sim", "seq", "pr", "native", "async"];
 
 /// The typed identity of an execution engine.
 ///
@@ -204,29 +219,35 @@ pub enum EngineKind {
     Pr,
     /// The native work-stealing thread pool ([`NativeParallelEngine`]).
     Native,
+    /// The cooperative futures-style executor ([`AsyncCoopEngine`]).
+    AsyncCoop,
 }
 
 static SIM_ENGINE: SimEngine = SimEngine;
 static SEQ_ENGINE: SequentialEngine = SequentialEngine;
 static NATIVE_ENGINE: NativeParallelEngine = NativeParallelEngine;
+static ASYNC_ENGINE: AsyncCoopEngine = AsyncCoopEngine;
 static PR_ENGINE: LazyLock<PrEstimateEngine> = LazyLock::new(PrEstimateEngine::default);
 
 impl EngineKind {
     /// All engine kinds, in canonical order (matching [`ENGINE_NAMES`]).
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Sim,
         EngineKind::Seq,
         EngineKind::Pr,
         EngineKind::Native,
+        EngineKind::AsyncCoop,
     ];
 
-    /// The canonical short name (`"sim"`, `"seq"`, `"pr"`, `"native"`).
+    /// The canonical short name (`"sim"`, `"seq"`, `"pr"`, `"native"`,
+    /// `"async"`).
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Sim => "sim",
             EngineKind::Seq => "seq",
             EngineKind::Pr => "pr",
             EngineKind::Native => "native",
+            EngineKind::AsyncCoop => "async",
         }
     }
 
@@ -237,7 +258,15 @@ impl EngineKind {
             EngineKind::Seq => &["seq", "sequential", "baseline"],
             EngineKind::Pr => &["pr", "estimate", "pingali-rogers"],
             EngineKind::Native => &["native", "threads", "parallel"],
+            EngineKind::AsyncCoop => &["async", "async-coop", "coop", "futures"],
         }
+    }
+
+    /// Whether runs of this kind execute on a persistent worker pool a
+    /// [`crate::Runtime`] keeps warm (as opposed to the modelled engines,
+    /// which run eagerly on the calling thread).
+    pub fn is_pooled(self) -> bool {
+        matches!(self, EngineKind::Native | EngineKind::AsyncCoop)
     }
 
     /// Parses a name or alias, case-insensitively and without allocating.
@@ -256,6 +285,7 @@ impl EngineKind {
             EngineKind::Seq => &SEQ_ENGINE,
             EngineKind::Pr => &*PR_ENGINE,
             EngineKind::Native => &NATIVE_ENGINE,
+            EngineKind::AsyncCoop => &ASYNC_ENGINE,
         }
     }
 
@@ -315,6 +345,103 @@ impl std::fmt::Display for EngineKind {
 /// [`PodsError::UnknownEngine`].
 pub fn engine_by_name(name: &str) -> Option<&'static dyn Engine> {
     Some(EngineKind::parse(name)?.engine())
+}
+
+/// Per-task memo of array directory lookups, shared by both pooled
+/// engines (generic over the store's waiter tag type).
+///
+/// Going through the store's sharded directory (plus an `Arc` refcount
+/// bump) for every element access costs two shared-cache-line touches;
+/// loop instances touch the same few arrays thousands of times, so one
+/// lookup per task execution amortises to nothing. The cache lives on the
+/// worker's stack for the duration of one task/poll and is simply rebuilt
+/// after a park or suspension.
+#[derive(Debug)]
+pub(crate) struct ArrayCache<T> {
+    entries: Vec<(
+        pods_istructure::ArrayId,
+        std::sync::Arc<pods_istructure::SharedArray<T>>,
+    )>,
+}
+
+impl<T> Default for ArrayCache<T> {
+    fn default() -> Self {
+        ArrayCache {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> ArrayCache<T> {
+    pub(crate) fn get(
+        &mut self,
+        store: &pods_istructure::SharedArrayStore<T>,
+        id: pods_istructure::ArrayId,
+    ) -> Result<&pods_istructure::SharedArray<T>, String> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == id) {
+            return Ok(&self.entries[i].1);
+        }
+        let shared = store.require(id).map_err(|e| e.to_string())?;
+        self.entries.push((id, shared));
+        Ok(&self.entries.last().expect("just pushed").1)
+    }
+}
+
+/// Upper bound on recycled frames a worker keeps around, so a spike of tiny
+/// instances cannot pin memory forever. Shared by both pooled engines.
+const ARENA_MAX_FREE: usize = 256;
+
+/// Per-worker free-list of instance frames (operand-slot vectors), shared
+/// by both pooled engines. Loop bodies spawn one instance per iteration;
+/// recycling the frame of every finished instance turns that allocator
+/// traffic into a pop/push on a thread-local vector — and keeps the two
+/// schedulers' allocator costs symmetric, so `async_vs_native` timings
+/// measure scheduling, not allocation.
+#[derive(Default)]
+pub(crate) struct InstanceArena {
+    free: Vec<Vec<Option<Value>>>,
+}
+
+impl InstanceArena {
+    /// A frame of `num_slots` cleared slots with `args` copied into the
+    /// parameter positions. Returns `true` when the frame was recycled.
+    pub(crate) fn frame(&mut self, num_slots: usize, args: &[Value]) -> (Vec<Option<Value>>, bool) {
+        let (mut slots, reused) = match self.free.pop() {
+            Some(v) => (v, true),
+            None => (Vec::with_capacity(num_slots), false),
+        };
+        slots.clear();
+        slots.resize(num_slots, None);
+        for (i, v) in args.iter().take(num_slots).enumerate() {
+            slots[i] = Some(*v);
+        }
+        (slots, reused)
+    }
+
+    pub(crate) fn recycle(&mut self, slots: Vec<Option<Value>>) {
+        if self.free.len() < ARENA_MAX_FREE {
+            self.free.push(slots);
+        }
+    }
+}
+
+/// Per-job liveness accounting shared by both pooled engines. `live`
+/// counts existing instances (queued, running, or parked/suspended);
+/// `in_flight` counts queued-or-running tasks. When `in_flight` hits zero
+/// with instances still live, no future delivery can wake them: the job is
+/// deadlocked.
+#[derive(Default)]
+pub(crate) struct JobCounts {
+    pub(crate) live: usize,
+    pub(crate) in_flight: usize,
+}
+
+/// The error every job cut short by pool teardown reports (both pooled
+/// engines use the same wording; tests match on "cancelled").
+pub(crate) fn cancellation_error() -> pods_machine::SimulationError {
+    pods_machine::SimulationError::Runtime(
+        "job cancelled: its runtime was dropped before the job completed".into(),
+    )
 }
 
 /// Shared argument validation used by every engine.

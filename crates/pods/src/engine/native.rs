@@ -67,7 +67,10 @@
 //!   fine-grained loops that spawn an instance per iteration recycle frames
 //!   instead of hammering the allocator.
 
-use super::{check_invocation, Engine, EngineOutcome, EngineStats};
+use super::{
+    cancellation_error, check_invocation, Engine, EngineOutcome, EngineStats, InstanceArena,
+    JobCounts,
+};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
@@ -179,33 +182,9 @@ struct Blocked {
     slot: SlotId,
 }
 
-/// Per-task memo of array directory lookups.
-///
-/// Going through the store's `RwLock`ed directory (plus an `Arc` refcount
-/// bump) for every element access serialises the workers on two shared
-/// cache lines; loop instances touch the same few arrays thousands of
-/// times, so one lookup per task amortises to nothing. The cache lives on
-/// the worker's stack for the duration of one task execution and is simply
-/// rebuilt after a park.
-#[derive(Default)]
-struct ArrayCache {
-    entries: Vec<(ArrayId, Arc<pods_istructure::SharedArray<NativeWaiter>>)>,
-}
-
-impl ArrayCache {
-    fn get(
-        &mut self,
-        store: &SharedArrayStore<NativeWaiter>,
-        id: ArrayId,
-    ) -> Result<&pods_istructure::SharedArray<NativeWaiter>, String> {
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == id) {
-            return Ok(&self.entries[i].1);
-        }
-        let shared = store.require(id).map_err(|e| e.to_string())?;
-        self.entries.push((id, shared));
-        Ok(&self.entries.last().expect("just pushed").1)
-    }
-}
+/// Per-task memo of array directory lookups (see
+/// [`crate::engine::ArrayCache`], shared with the async engine).
+type ArrayCache = crate::engine::ArrayCache<NativeWaiter>;
 
 /// Precomputed read-slot lists per `(template, pc)`: the firing-rule check
 /// runs for every executed instruction, and rebuilding the list (a heap
@@ -223,10 +202,12 @@ pub(crate) fn build_read_slots(program: &SpProgram) -> ReadSlots {
         .collect()
 }
 
-/// Everything program-shaped a native job needs, in `Arc`-shared form so
-/// warm submissions of the same prepared program pay zero setup: the
-/// partitioned SP program, its read-slot tables, the partition report (for
-/// the outcome), and the per-job execution knobs.
+/// Everything program-shaped a job needs, in `Arc`-shared form so warm
+/// submissions of the same prepared program pay zero setup: the partitioned
+/// SP program, its read-slot tables, the partition report (for the
+/// outcome), and the per-job execution knobs. Consumed by both pooled
+/// schedulers — the native thread pool and the async cooperative executor —
+/// so one [`crate::PreparedProgram`] handle serves either engine.
 pub(crate) struct JobSpec {
     pub program: Arc<SpProgram>,
     pub read_slots: Arc<ReadSlots>,
@@ -258,42 +239,6 @@ impl JobSpec {
     }
 }
 
-/// Upper bound on recycled frames a worker keeps around, so a spike of tiny
-/// instances cannot pin memory forever.
-const ARENA_MAX_FREE: usize = 256;
-
-/// Per-worker free-list of instance frames (operand-slot vectors). Loop
-/// bodies spawn one instance per iteration; recycling the frame of every
-/// finished instance turns that allocator traffic into a pop/push on a
-/// thread-local vector.
-#[derive(Default)]
-struct InstanceArena {
-    free: Vec<Vec<Option<Value>>>,
-}
-
-impl InstanceArena {
-    /// A frame of `num_slots` cleared slots with `args` copied into the
-    /// parameter positions. Returns `true` when the frame was recycled.
-    fn frame(&mut self, num_slots: usize, args: &[Value]) -> (Vec<Option<Value>>, bool) {
-        let (mut slots, reused) = match self.free.pop() {
-            Some(v) => (v, true),
-            None => (Vec::with_capacity(num_slots), false),
-        };
-        slots.clear();
-        slots.resize(num_slots, None);
-        for (i, v) in args.iter().take(num_slots).enumerate() {
-            slots[i] = Some(*v);
-        }
-        (slots, reused)
-    }
-
-    fn recycle(&mut self, slots: Vec<Option<Value>>) {
-        if self.free.len() < ARENA_MAX_FREE {
-            self.free.push(slots);
-        }
-    }
-}
-
 /// State owned by one worker thread and reused across every task it runs:
 /// the instance arena, the wake-up delivery buffer, and a scratch vector for
 /// marshalling spawn arguments. All three exist to keep per-iteration
@@ -315,16 +260,6 @@ struct WorkerCtx {
 struct Sched {
     blocked: HashMap<InstanceId, Blocked>,
     mailbox: HashMap<InstanceId, Vec<(SlotId, Value)>>,
-}
-
-/// Per-job liveness accounting. `live` counts existing instances (queued,
-/// running, or parked); `in_flight` counts queued-or-running tasks. When
-/// `in_flight` hits zero with instances still live, no future delivery can
-/// wake them: the job is deadlocked.
-#[derive(Default)]
-struct JobCounts {
-    live: usize,
-    in_flight: usize,
 }
 
 /// Everything scoped to one submitted program execution. Tasks reference
@@ -421,8 +356,10 @@ struct PoolCoord {
 }
 
 /// Process-unique pool identities, so tests (and users) can assert that two
-/// runs really shared one set of worker threads.
-static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+/// runs really shared one set of worker threads. Shared with the async
+/// cooperative executor: no two pools of either kind ever report the same
+/// id.
+pub(crate) static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
 struct PoolShared {
     id: u64,
@@ -436,13 +373,6 @@ struct PoolShared {
     /// in-flight jobs at the next instruction boundary instead of running
     /// every queued task to completion first.
     stop: AtomicBool,
-}
-
-/// The error every job cut short by pool teardown reports.
-fn cancellation_error() -> SimulationError {
-    SimulationError::Runtime(
-        "job cancelled: its runtime was dropped before the job completed".into(),
-    )
 }
 
 impl PoolShared {

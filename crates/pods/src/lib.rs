@@ -62,8 +62,8 @@ pub mod report;
 mod runtime;
 
 pub use engine::{
-    engine_by_name, Engine, EngineKind, EngineOutcome, EngineStats, NativeParallelEngine,
-    NativeStats, PrEstimateEngine, SequentialEngine, SimEngine, ENGINE_NAMES,
+    engine_by_name, AsyncCoopEngine, AsyncStats, Engine, EngineKind, EngineOutcome, EngineStats,
+    NativeParallelEngine, NativeStats, PrEstimateEngine, SequentialEngine, SimEngine, ENGINE_NAMES,
 };
 pub use error::PodsError;
 pub use pipeline::{

@@ -191,7 +191,7 @@ impl CompiledProgram {
         let start = std::time::Instant::now();
         let runtime = Runtime::with_options(kind, options.clone());
         let mut outcome = runtime.run(self, args)?;
-        if kind == EngineKind::Native {
+        if kind.is_pooled() {
             // The throwaway runtime's pool spawn is part of this call's cost;
             // report it, as the cold path always has (the modelled engines
             // measure their own wall-clock and have no pool).

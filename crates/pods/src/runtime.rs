@@ -57,8 +57,8 @@
 //! match the preparing runtime's.
 
 use crate::engine::{
-    build_read_slots, check_invocation, EngineKind, EngineOutcome, JobSpec, NativeJobHandle,
-    NativePool, ReadSlots,
+    build_read_slots, check_invocation, AsyncJobHandle, AsyncPool, EngineKind, EngineOutcome,
+    JobSpec, NativeJobHandle, NativePool, ReadSlots,
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
@@ -159,18 +159,19 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Builds the runtime. For [`EngineKind::Native`] this spawns the
-    /// persistent worker pool immediately, so the first `run` is already
-    /// warm.
+    /// Builds the runtime. For the pooled kinds ([`EngineKind::Native`],
+    /// [`EngineKind::AsyncCoop`]) this spawns the persistent worker pool
+    /// immediately, so the first `run` is already warm.
     pub fn build(self) -> Runtime {
-        let pool = match self.kind {
-            EngineKind::Native => Some(NativePool::new(self.opts.num_pes)),
-            _ => None,
+        let backend = match self.kind {
+            EngineKind::Native => Backend::Native(NativePool::new(self.opts.num_pes)),
+            EngineKind::AsyncCoop => Backend::Async(AsyncPool::new(self.opts.num_pes)),
+            _ => Backend::Modelled,
         };
         Runtime {
             kind: self.kind,
             opts: self.opts,
-            pool,
+            backend,
             prepared: Mutex::new(Vec::new()),
             prepared_cap: self.prepared_cache,
         }
@@ -192,11 +193,22 @@ impl RuntimeBuilder {
 pub struct Runtime {
     kind: EngineKind,
     opts: RunOptions,
-    pool: Option<NativePool>,
+    backend: Backend,
     /// LRU cache of auto-prepared programs, most recently used last, keyed
     /// by [`CompiledProgram::identity`].
     prepared: Mutex<Vec<PreparedProgram>>,
     prepared_cap: usize,
+}
+
+/// The execution machinery a runtime owns, per engine kind.
+enum Backend {
+    /// The modelled engines (`sim`, `seq`, `pr`) run eagerly on the
+    /// calling thread; there is nothing to keep warm.
+    Modelled,
+    /// The native work-stealing thread pool (parked-instance scheduling).
+    Native(NativePool),
+    /// The cooperative executor (futures-style task suspension).
+    Async(AsyncPool),
 }
 
 impl std::fmt::Debug for Runtime {
@@ -204,7 +216,7 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("kind", &self.kind)
             .field("workers", &self.opts.num_pes)
-            .field("pool_id", &self.pool.as_ref().map(NativePool::id))
+            .field("pool_id", &self.pool_id())
             .field("prepared_cached", &self.prepared_cache_size())
             .finish()
     }
@@ -243,11 +255,16 @@ impl Runtime {
         self.opts.num_pes
     }
 
-    /// Process-unique identity of the native worker pool, if this runtime
-    /// owns one (compare against
-    /// [`crate::NativeStats::pool_id`] to verify reuse).
+    /// Process-unique identity of the worker pool (native) or cooperative
+    /// executor (async), if this runtime owns one — compare against
+    /// [`crate::NativeStats::pool_id`] / [`crate::AsyncStats::pool_id`] to
+    /// verify reuse.
     pub fn pool_id(&self) -> Option<u64> {
-        self.pool.as_ref().map(NativePool::id)
+        match &self.backend {
+            Backend::Modelled => None,
+            Backend::Native(pool) => Some(pool.id()),
+            Backend::Async(pool) => Some(pool.id()),
+        }
     }
 
     /// Number of programs currently held by the auto-prepare LRU cache.
@@ -342,8 +359,9 @@ impl Runtime {
     /// Submits one program for execution and returns a [`JobHandle`].
     /// Accepts a raw `&CompiledProgram` or a [`PreparedProgram`] handle.
     ///
-    /// On the native runtime the job executes asynchronously on the shared
-    /// pool: submit many jobs before waiting on any of them and they run
+    /// On the pooled runtimes (native thread pool or async cooperative
+    /// executor) the job executes asynchronously on the shared pool:
+    /// submit many jobs before waiting on any of them and they run
     /// concurrently, each with isolated per-job state. On the modelled
     /// engines the job runs eagerly on the calling thread (they are
     /// single-threaded models; there is no pool to hand them to) and the
@@ -362,15 +380,22 @@ impl Runtime {
     ) -> Result<JobHandle, PodsError> {
         check_invocation(program.compiled(), args)?;
         program.check_compatible(self)?;
-        match &self.pool {
-            Some(pool) => {
+        match &self.backend {
+            Backend::Native(pool) => {
                 let prepared = program.prepared(self)?;
                 let handle = pool.submit(prepared.job_spec(&self.opts), args);
                 Ok(JobHandle {
                     inner: JobInner::Native(handle),
                 })
             }
-            None => Ok(JobHandle {
+            Backend::Async(pool) => {
+                let prepared = program.prepared(self)?;
+                let handle = pool.submit(prepared.job_spec(&self.opts), args);
+                Ok(JobHandle {
+                    inner: JobInner::Async(handle),
+                })
+            }
+            Backend::Modelled => Ok(JobHandle {
                 inner: JobInner::Ready(Box::new(self.kind.engine().run(
                     program.compiled(),
                     args,
@@ -569,6 +594,8 @@ enum JobInner {
     Ready(Box<Result<EngineOutcome, PodsError>>),
     /// A native job in flight on the pool.
     Native(NativeJobHandle),
+    /// A cooperative job in flight on the async executor.
+    Async(AsyncJobHandle),
 }
 
 /// A handle to one submitted job on a [`Runtime`].
@@ -583,6 +610,7 @@ impl JobHandle {
         match &self.inner {
             JobInner::Ready(_) => true,
             JobInner::Native(handle) => handle.is_done(),
+            JobInner::Async(handle) => handle.is_done(),
         }
     }
 
@@ -596,6 +624,7 @@ impl JobHandle {
         match self.inner {
             JobInner::Ready(outcome) => *outcome,
             JobInner::Native(handle) => handle.wait(),
+            JobInner::Async(handle) => handle.wait(),
         }
     }
 }

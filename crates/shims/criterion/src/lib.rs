@@ -20,7 +20,15 @@ pub fn black_box<T>(x: T) -> T {
 
 /// Target measurement time per benchmark. Kept short: this shim exists to
 /// produce indicative numbers offline, not publication-grade statistics.
-const TARGET: Duration = Duration::from_millis(300);
+/// Setting `PODS_BENCH_QUICK` (any value) shrinks it further, for CI smoke
+/// runs that only need the benches to execute, not to measure well.
+fn target() -> Duration {
+    if std::env::var_os("PODS_BENCH_QUICK").is_some() {
+        Duration::from_millis(25)
+    } else {
+        Duration::from_millis(300)
+    }
+}
 /// Upper bound on timed iterations per benchmark.
 const MAX_ITERS: u64 = 1000;
 
@@ -43,7 +51,7 @@ impl Bencher {
         let iters = if once.is_zero() {
             MAX_ITERS
         } else {
-            (TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64
+            (target().as_nanos() / once.as_nanos().max(1)).clamp(1, MAX_ITERS as u128) as u64
         };
         let start = Instant::now();
         for _ in 0..iters {

@@ -1,7 +1,9 @@
 //! Quickstart: compile a small declarative program, run it through the full
 //! PODS pipeline on a 4-PE simulated machine, and inspect the results —
 //! then run the same compiled program repeatedly on a persistent native
-//! [`Runtime`] whose worker pool is reused across runs.
+//! [`Runtime`] whose worker pool is reused across runs, and once more on
+//! the cooperative async executor to see its suspension/resumption
+//! counters next to the native scheduler's.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -74,5 +76,25 @@ fn main() -> Result<(), pods::PodsError> {
             native.wall_us / 1000.0
         );
     }
+
+    // The async cooperative engine runs the same prepared handle: instances
+    // are futures-style state machines suspended/resumed by I-structure
+    // wakers instead of a parked-instance registry. Its stats expose the
+    // scheduler's work directly. (Select it in CLIs with PODS_ENGINE=async.)
+    let coop = Runtime::builder(EngineKind::AsyncCoop).workers(4).build();
+    let outcome = coop.run(&prepared, &[Value::Int(16)])?;
+    let EngineStats::AsyncCoop { stats, .. } = outcome.stats else {
+        unreachable!("async runtime reports async stats");
+    };
+    println!(
+        "async runtime (4 workers, pool {}): {} tasks, {} polls, {} suspensions / {} resumptions, {} steals, {:.3} ms wall-clock",
+        stats.pool_id,
+        stats.instances,
+        stats.polls,
+        stats.suspensions,
+        stats.resumptions,
+        stats.steals,
+        outcome.wall_us / 1000.0
+    );
     Ok(())
 }

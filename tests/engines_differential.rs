@@ -45,15 +45,11 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
 
     for kind in EngineKind::ALL {
         let engine = kind.name();
-        // One runtime per (engine, machine size): the native pool is reused
-        // across every workload size swept below. The native engine also
-        // runs with unbatched (1) and batched (16) wake-up delivery — the
-        // batching must be invisible to results.
-        let batches: &[usize] = if kind == EngineKind::Native {
-            &[1, 16]
-        } else {
-            &[16]
-        };
+        // One runtime per (engine, machine size): the native pool / async
+        // executor is reused across every workload size swept below. Both
+        // pooled engines also run with unbatched (1) and batched (16)
+        // wake-up delivery — the batching must be invisible to results.
+        let batches: &[usize] = if kind.is_pooled() { &[1, 16] } else { &[16] };
         for &pes in pe_counts {
             for &batch in batches {
                 let runtime = Runtime::builder(kind)
@@ -167,17 +163,58 @@ fn unknown_engine_names_are_rejected() {
 }
 
 #[test]
-fn sim_and_native_agree_on_partitioning_decisions() {
-    // Both parallel engines run the same partitioned program; their reports
-    // must be identical for identical options.
+fn parallel_engines_agree_on_partitioning_decisions() {
+    // All three parallel engines run the same partitioned program; their
+    // reports must be identical for identical options.
     let program = pods::compile(pods_workloads::FILL).unwrap();
     let opts = RunOptions::with_pes(4);
     let sim = program.run_on("sim", &[Value::Int(8)], &opts).unwrap();
     let native = program.run_on("native", &[Value::Int(8)], &opts).unwrap();
+    let coop = program.run_on("async", &[Value::Int(8)], &opts).unwrap();
     assert_eq!(
         sim.partition().unwrap().loops,
         native.partition().unwrap().loops
     );
+    assert_eq!(
+        sim.partition().unwrap().loops,
+        coop.partition().unwrap().loops
+    );
+}
+
+#[test]
+fn async_engine_agrees_on_prepared_and_raw_submissions() {
+    // The acceptance bar for the cooperative engine: raw programs,
+    // prepared handles, and handles prepared on a *native* runtime (the
+    // JobSpec is engine-portable) all match the oracle, batched and
+    // unbatched.
+    let program = pods::compile(pods_workloads::STENCIL).unwrap();
+    let args = [Value::Int(12)];
+    let oracle = Runtime::with_options(EngineKind::Seq, RunOptions::default())
+        .run(&program, &args)
+        .unwrap();
+    let expected = oracle.returned_array().unwrap().to_f64(f64::NAN);
+    for batch in [1usize, 16] {
+        let runtime = Runtime::builder(EngineKind::AsyncCoop)
+            .workers(4)
+            .delivery_batch(batch)
+            .build();
+        let prepared = runtime.prepare(&program);
+        let native_rt = Runtime::builder(EngineKind::Native).workers(2).build();
+        let foreign = native_rt.prepare(&program);
+        for (label, outcome) in [
+            ("raw", runtime.run(&program, &args).unwrap()),
+            ("prepared", runtime.run(&prepared, &args).unwrap()),
+            ("native-prepared", runtime.run(&foreign, &args).unwrap()),
+        ] {
+            let got = outcome.returned_array().unwrap().to_f64(f64::NAN);
+            for (i, (a, b)) in expected.iter().zip(&got).enumerate() {
+                assert!(
+                    values_close(*a, *b),
+                    "async/{label}/batch{batch}: [{i}] = {b}, oracle {a}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
