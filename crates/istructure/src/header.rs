@@ -179,7 +179,12 @@ impl ArrayHeader {
     ///
     /// * `dim == 0`: the rows owned by `pe` under the first-element rule.
     /// * `dim == 1`: the local column subrange within `row` (the outer index
-    ///   must be supplied).
+    ///   must be supplied). A `row` outside the array has no owner, so its
+    ///   iteration space cannot be partitioned by ownership; the whole
+    ///   dimension is assigned to exactly one deterministic PE — the owner
+    ///   of the array edge nearest the row — so the (necessarily faulting)
+    ///   iterations execute once, exactly like a sequential run, instead of
+    ///   being silently dropped by every PE clamping to an empty range.
     /// * deeper dims: the full extent of that dimension — the paper
     ///   eliminates RFs below the filtered level, so the entire range is
     ///   needed (§4.2.3).
@@ -187,6 +192,14 @@ impl ArrayHeader {
         match dim {
             0 => self.owned_rows(pe),
             1 => match outer_row {
+                Some(row) if row < 0 || row >= self.shape.num_rows() as i64 => {
+                    let edge_offset = if row < 0 { 0 } else { self.shape.len() - 1 };
+                    if self.partitioning.owner_of(edge_offset) == pe {
+                        DimRange::new(0, self.shape.dims().get(1).copied().unwrap_or(1) as i64 - 1)
+                    } else {
+                        DimRange::empty()
+                    }
+                }
                 Some(row) => self.local_cols_in_row(pe, row),
                 None => DimRange::new(0, self.shape.dims().get(1).copied().unwrap_or(1) as i64 - 1),
             },
@@ -284,6 +297,32 @@ mod tests {
             DimRange::new(0, 255),
             "without an outer index the full column range is conservative"
         );
+    }
+
+    #[test]
+    fn out_of_range_rows_are_assigned_whole_to_one_edge_pe() {
+        // An invalid outer row has no owner, so the whole inner dimension
+        // goes to exactly one PE (the owner of the nearest array edge) and
+        // is empty on every other PE: the union over PEs is the full
+        // dimension — never the silently-empty range that would let
+        // out-of-bounds iterations vanish.
+        let h = figure4_header();
+        let full = DimRange::new(0, 255);
+        for row in [-1i64, -5, 6, 9] {
+            let mut holders = 0;
+            for pe in 0..4 {
+                let r = h.responsibility(PeId(pe), 1, Some(row));
+                if !r.is_empty() {
+                    assert_eq!(r, full, "row {row} on PE{pe}");
+                    holders += 1;
+                }
+            }
+            assert_eq!(holders, 1, "row {row} must land on exactly one PE");
+        }
+        // Below the array: the owner of the first element; past the end:
+        // the owner of the last element.
+        assert_eq!(h.responsibility(PeId(0), 1, Some(-1)), full);
+        assert_eq!(h.responsibility(PeId(3), 1, Some(6)), full);
     }
 
     #[test]

@@ -35,15 +35,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod eval;
 pub mod instance;
 pub mod result;
 pub mod sim;
 pub mod stats;
 pub mod timing;
 
-pub use eval::{eval_binary, eval_unary, EvalError};
+// Scalar evaluation lives in the shared instruction core now
+// (`pods_sp::exec`); re-exported here for the historical API surface.
 pub use instance::{Instance, InstanceId, InstanceStatus, Waiter};
+pub use pods_sp::exec::{eval_binary, eval_unary, EvalError};
 pub use result::{ArraySnapshot, SimulationResult};
 pub use sim::{simulate, Simulation, SimulationError};
 pub use stats::{PeStats, SimulationStats, Unit, UnitState};

@@ -11,16 +11,16 @@
 //! writes, allocation broadcasts) flows through the Routing Units and the
 //! network model.
 
-use crate::eval::{eval_binary, eval_unary};
 use crate::instance::{Instance, InstanceId, InstanceStatus, Waiter};
 use crate::result::{ArraySnapshot, SimulationResult};
 use crate::stats::{PeStats, SimulationStats, UnitState};
-use crate::timing::MachineConfig;
+use crate::timing::{MachineConfig, TimingModel};
 use pods_istructure::{
-    ArrayId, ArrayMemory, ArrayShape, PageCopy, Partitioning, PeId, ReadOutcome, ReadResult, Value,
-    WriteOutcome,
+    ArrayHeader, ArrayId, ArrayMemory, ArrayShape, PageCopy, Partitioning, PeId, ReadOutcome,
+    ReadResult, Value, WriteOutcome,
 };
-use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use pods_sp::exec::{self, ArrayOps, Cost, ExecCtx, Loaded, ReadSlots, RunExit};
+use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
@@ -183,13 +183,6 @@ impl PeState {
     }
 }
 
-/// What happened after executing one instruction.
-enum Step {
-    Next,
-    Jump(usize),
-    Finished,
-}
-
 /// The machine simulator.
 ///
 /// Construct one with [`Simulation::new`] and call [`Simulation::run`]; or
@@ -197,6 +190,9 @@ enum Step {
 pub struct Simulation {
     config: MachineConfig,
     program: Rc<SpProgram>,
+    /// Precomputed per-template read-slot tables for the shared core's
+    /// firing-rule check (no per-instruction allocation).
+    read_slots: Rc<ReadSlots>,
     pes: Vec<PeState>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
@@ -228,9 +224,11 @@ impl Simulation {
     /// Creates a simulation of `program` on the configured machine.
     pub fn new(program: SpProgram, config: MachineConfig) -> Self {
         let num_pes = config.num_pes.max(1);
+        let read_slots = Rc::new(exec::build_read_slots(&program));
         Simulation {
             config,
             program: Rc::new(program),
+            read_slots,
             pes: (0..num_pes).map(PeState::new).collect(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -661,373 +659,50 @@ impl Simulation {
         let mut t = start;
         let program = Rc::clone(&self.program);
         let template = program.template(inst.template);
+        let read_slots = Rc::clone(&self.read_slots);
+        let slot_table = &read_slots[inst.template.index()];
         let timing = self.config.timing.clone();
 
-        loop {
-            if self.error.is_some() {
-                break;
-            }
-            if inst.pc >= template.code.len() {
-                self.finish_instance(pe, &inst, None, t);
+        // Run the instance on the shared instruction core; this simulator
+        // contributes only the event-queue suspension strategy, the timing
+        // model (via `charge`), and the Array-Manager message mechanics.
+        let exit = {
+            let mut cx = SimCtx {
+                sim: self,
+                pe,
+                inst: &mut inst,
+                t: &mut t,
+                timing: &timing,
+            };
+            exec::run_instance(&mut cx, &template.code, slot_table)
+        };
+
+        let eu = &mut self.pes[pe].units[EU];
+        eu.busy += t - start;
+        eu.next_free = t;
+        match exit {
+            Ok(RunExit::Finished(value)) => {
+                self.finish_instance(pe, &inst, value, t);
                 // Frame released by the Memory Manager.
                 self.schedule_unit(pe, MM, t, timing.memory_manager_op);
-                self.pes[pe].units[EU].busy += t - start;
-                self.pes[pe].units[EU].next_free = t;
                 self.kick_eu(pe, t);
-                return;
             }
-            let instr = &template.code[inst.pc];
-            // Dataflow firing rule: all needed operands must be present.
-            if let Some(missing) = instr
-                .read_slots()
-                .into_iter()
-                .find(|s| !inst.is_present(*s))
-            {
-                t += timing.context_switch;
-                self.pes[pe].stats.context_switches += 1;
-                inst.status = InstanceStatus::Blocked(missing);
+            Ok(RunExit::Blocked(slot)) => {
+                // Event-queue suspension: the instance stays in the PE's
+                // table marked blocked; the delivery of the missing token
+                // re-queues it (`deliver_value`).
+                inst.status = InstanceStatus::Blocked(slot);
                 self.pes[pe].instances.insert(id, inst);
-                self.pes[pe].units[EU].busy += t - start;
-                self.pes[pe].units[EU].next_free = t;
                 self.kick_eu(pe, t);
-                return;
             }
-            self.pes[pe].stats.instructions += 1;
-            let step = self.execute_instr(pe, &mut inst, instr, &mut t);
-            match step {
-                Step::Next => inst.pc += 1,
-                Step::Jump(target) => inst.pc = target,
-                Step::Finished => {
-                    self.schedule_unit(pe, MM, t, timing.memory_manager_op);
-                    self.pes[pe].units[EU].busy += t - start;
-                    self.pes[pe].units[EU].next_free = t;
-                    self.kick_eu(pe, t);
-                    return;
-                }
+            Ok(RunExit::Stopped) => {
+                // An error was recorded elsewhere; park the instance so the
+                // main loop can surface the error.
+                self.pes[pe].instances.insert(id, inst);
             }
-        }
-
-        // An error occurred mid-run; park the instance so the main loop can
-        // surface the error.
-        self.pes[pe].instances.insert(id, inst);
-        self.pes[pe].units[EU].busy += t - start;
-        self.pes[pe].units[EU].next_free = t;
-    }
-
-    fn operand(&self, inst: &Instance, op: &Operand) -> Value {
-        match op {
-            Operand::Slot(s) => inst.slot(*s).unwrap_or(Value::Unit),
-            Operand::Int(v) => Value::Int(*v),
-            Operand::Float(v) => Value::Float(*v),
-            Operand::Bool(v) => Value::Bool(*v),
-        }
-    }
-
-    fn array_offset(
-        &mut self,
-        pe: usize,
-        array: Value,
-        indices: &[Value],
-    ) -> Option<(ArrayId, usize)> {
-        let Some(id) = array.as_array() else {
-            self.fail(format!("expected an array reference, found {array}"));
-            return None;
-        };
-        let Some(header) = self.pes[pe].memory.header(id) else {
-            self.fail(format!("array {id} has no header on PE{pe}"));
-            return None;
-        };
-        let idx: Vec<i64> = indices.iter().map(|v| v.as_i64().unwrap_or(-1)).collect();
-        match header.offset_of(&idx) {
-            Some(offset) => Some((id, offset)),
-            None => {
-                self.fail(format!(
-                    "index {idx:?} out of bounds for {} array `{}`",
-                    header.shape(),
-                    header.name()
-                ));
-                None
-            }
-        }
-    }
-
-    fn execute_instr(
-        &mut self,
-        pe: usize,
-        inst: &mut Instance,
-        instr: &Instr,
-        t: &mut f64,
-    ) -> Step {
-        let timing = self.config.timing.clone();
-        match instr {
-            Instr::Binary { op, dst, lhs, rhs } => {
-                let a = self.operand(inst, lhs);
-                let b = self.operand(inst, rhs);
-                let float = a.is_float() || b.is_float();
-                *t += timing.binary_op(*op, float);
-                match eval_binary(*op, a, b) {
-                    Ok(v) => inst.set_slot(*dst, v),
-                    Err(e) => self.fail(e.to_string()),
-                }
-                Step::Next
-            }
-            Instr::Unary { op, dst, src } => {
-                let a = self.operand(inst, src);
-                *t += timing.unary_op(*op, a.is_float());
-                match eval_unary(*op, a) {
-                    Ok(v) => inst.set_slot(*dst, v),
-                    Err(e) => self.fail(e.to_string()),
-                }
-                Step::Next
-            }
-            Instr::Move { dst, src } => {
-                let v = self.operand(inst, src);
-                *t += timing.memory_write;
-                inst.set_slot(*dst, v);
-                Step::Next
-            }
-            Instr::Jump { target } => {
-                *t += timing.int_alu;
-                Step::Jump(*target)
-            }
-            Instr::BranchIfFalse { cond, target } => {
-                let c = self.operand(inst, cond).as_bool().unwrap_or(false);
-                *t += timing.int_alu;
-                if c {
-                    Step::Next
-                } else {
-                    Step::Jump(*target)
-                }
-            }
-            Instr::ArrayAlloc {
-                dst,
-                name,
-                dims,
-                distributed,
-            } => {
-                let dim_values: Vec<usize> = dims
-                    .iter()
-                    .map(|d| self.operand(inst, d).as_i64().unwrap_or(0).max(0) as usize)
-                    .collect();
-                if dim_values.contains(&0) {
-                    self.fail(format!("array `{name}` allocated with a zero dimension"));
-                    return Step::Next;
-                }
-                *t += timing.unit_signal;
-                inst.clear_slot(*dst);
-                let id = ArrayId(self.next_array);
-                self.next_array += 1;
-                self.arrays
-                    .push((id, name.clone(), ArrayShape::new(dim_values.clone())));
-                self.register_array(pe, id, name, &dim_values, *distributed, pe);
-                self.pes[pe].stats.local_writes += 0; // allocation is not a write
-                let finish = self.schedule_unit(pe, AM, *t, timing.array_allocate);
-                // The array ID token is returned to the requesting SP.
-                self.push_event(
-                    finish,
-                    EventKind::Deliver {
-                        pe,
-                        instance: inst.id,
-                        slot: *dst,
-                        value: Value::ArrayRef(id),
-                    },
-                );
-                // Distributing allocate: broadcast the request to all PEs.
-                if *distributed {
-                    for q in 0..self.pes.len() {
-                        if q != pe {
-                            self.send_message(
-                                pe,
-                                q,
-                                Message::RemoteAlloc {
-                                    array: id,
-                                    name: name.clone(),
-                                    dims: dim_values.clone(),
-                                    distributed: true,
-                                    origin: pe,
-                                },
-                                finish,
-                            );
-                        }
-                    }
-                }
-                Step::Next
-            }
-            Instr::ArrayLoad {
-                dst,
-                array,
-                indices,
-            } => {
-                let array_v = self.operand(inst, array);
-                let idx: Vec<Value> = indices.iter().map(|i| self.operand(inst, i)).collect();
-                let Some((id, offset)) = self.array_offset(pe, array_v, &idx) else {
-                    return Step::Next;
-                };
-                *t += timing.local_array_access;
-                let waiter = Waiter {
-                    pe,
-                    instance: inst.id,
-                    slot: *dst,
-                };
-                match self.pes[pe].memory.read(id, offset, waiter) {
-                    Ok(ReadOutcome::LocalPresent(v)) => {
-                        self.pes[pe].stats.local_reads += 1;
-                        inst.set_slot(*dst, v);
-                    }
-                    Ok(ReadOutcome::CacheHit(v)) => {
-                        self.pes[pe].stats.cache_hit_reads += 1;
-                        inst.set_slot(*dst, v);
-                    }
-                    Ok(ReadOutcome::LocalDeferred) => {
-                        self.pes[pe].stats.deferred_reads += 1;
-                        inst.clear_slot(*dst);
-                        self.schedule_unit(pe, AM, *t, timing.enqueue_read);
-                    }
-                    Ok(ReadOutcome::RemoteMiss { owner, .. }) => {
-                        self.pes[pe].stats.remote_reads += 1;
-                        inst.clear_slot(*dst);
-                        let finish =
-                            self.schedule_unit(pe, AM, *t, timing.memory_read + timing.unit_signal);
-                        self.send_message(
-                            pe,
-                            owner.index(),
-                            Message::ReadRequest {
-                                array: id,
-                                offset,
-                                waiter,
-                            },
-                            finish,
-                        );
-                    }
-                    Err(e) => self.fail(e.to_string()),
-                }
-                Step::Next
-            }
-            Instr::ArrayStore {
-                array,
-                indices,
-                value,
-            } => {
-                let array_v = self.operand(inst, array);
-                let idx: Vec<Value> = indices.iter().map(|i| self.operand(inst, i)).collect();
-                let v = self.operand(inst, value);
-                let Some((id, offset)) = self.array_offset(pe, array_v, &idx) else {
-                    return Step::Next;
-                };
-                *t += timing.local_array_access;
-                match self.pes[pe].memory.write(id, offset, v) {
-                    Ok(WriteOutcome::Local { woken }) => {
-                        self.pes[pe].stats.local_writes += 1;
-                        let service = timing.memory_write + woken.len() as f64 * timing.unit_signal;
-                        let finish = self.schedule_unit(pe, AM, *t, service);
-                        for waiter in woken {
-                            self.send_to_waiter(pe, waiter, v, finish);
-                        }
-                    }
-                    Ok(WriteOutcome::Remote { owner }) => {
-                        self.pes[pe].stats.remote_writes += 1;
-                        let finish = self.schedule_unit(
-                            pe,
-                            AM,
-                            *t,
-                            timing.memory_write + timing.unit_signal,
-                        );
-                        self.send_message(
-                            pe,
-                            owner.index(),
-                            Message::WriteForward {
-                                array: id,
-                                offset,
-                                value: v,
-                            },
-                            finish,
-                        );
-                    }
-                    Err(e) => self.fail(e.to_string()),
-                }
-                Step::Next
-            }
-            Instr::Spawn {
-                target,
-                args,
-                distributed,
-                ret,
-            } => {
-                let arg_values: Vec<Value> = args.iter().map(|a| self.operand(inst, a)).collect();
-                let return_to = ret.map(|slot| {
-                    inst.clear_slot(slot);
-                    Waiter {
-                        pe,
-                        instance: inst.id,
-                        slot,
-                    }
-                });
-                *t += timing.unit_signal;
-                if *distributed {
-                    for q in 0..self.pes.len() {
-                        if q == pe {
-                            self.create_instance(pe, *target, arg_values.clone(), return_to, *t);
-                        } else {
-                            self.send_message(
-                                pe,
-                                q,
-                                Message::Spawn {
-                                    template: *target,
-                                    args: arg_values.clone(),
-                                    return_to: None,
-                                },
-                                *t,
-                            );
-                        }
-                    }
-                } else {
-                    self.create_instance(pe, *target, arg_values, return_to, *t);
-                }
-                Step::Next
-            }
-            Instr::RangeLo {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            }
-            | Instr::RangeHi {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            } => {
-                let is_lo = matches!(instr, Instr::RangeLo { .. });
-                let array_v = self.operand(inst, array);
-                let default_v = self.operand(inst, default).as_i64().unwrap_or(0);
-                let outer_v = outer
-                    .as_ref()
-                    .map(|o| self.operand(inst, o).as_i64().unwrap_or(0));
-                *t += 5.0 * timing.memory_read;
-                let Some(id) = array_v.as_array() else {
-                    self.fail(format!("range filter on a non-array value {array_v}"));
-                    return Step::Next;
-                };
-                let Some(header) = self.pes[pe].memory.header(id) else {
-                    self.fail(format!("range filter: array {id} unknown on PE{pe}"));
-                    return Step::Next;
-                };
-                let range = header.responsibility(PeId(pe), *dim, outer_v);
-                let value = if is_lo {
-                    default_v.max(range.start)
-                } else {
-                    default_v.min(range.end)
-                };
-                inst.set_slot(*dst, Value::Int(value));
-                Step::Next
-            }
-            Instr::Return { value } => {
-                let v = value.as_ref().map(|op| self.operand(inst, op));
-                *t += timing.int_alu;
-                self.finish_instance(pe, inst, v, *t);
-                Step::Finished
+            Err(msg) => {
+                self.fail(msg);
+                self.pes[pe].instances.insert(id, inst);
             }
         }
     }
@@ -1040,6 +715,260 @@ impl Simulation {
         if let (Some(waiter), Some(v)) = (inst.return_to, value) {
             self.send_to_waiter(pe, waiter, v, now + self.config.timing.unit_signal);
         }
+    }
+}
+
+/// The simulator's execution context for the shared instruction core
+/// (`pods_sp::exec`): one EU slice of one instance on one PE. The semantics
+/// live in the core; this adapter supplies the simulator's *mechanics* —
+/// the §5.1 timing model (`charge`), the per-PE [`ArrayMemory`] with page
+/// caching and remote messages ([`ArrayOps`]), asynchronous Array-Manager
+/// deliveries, and inter-PE spawn routing.
+struct SimCtx<'a> {
+    sim: &'a mut Simulation,
+    pe: usize,
+    inst: &'a mut Instance,
+    /// The EU-local clock, advanced by `charge` and read by the hooks when
+    /// scheduling unit service and message departures.
+    t: &'a mut f64,
+    timing: &'a TimingModel,
+}
+
+impl ArrayOps for SimCtx<'_> {
+    fn alloc_array(
+        &mut self,
+        dst: SlotId,
+        name: &str,
+        dims: &[usize],
+        distributed: bool,
+    ) -> Result<(), String> {
+        let pe = self.pe;
+        // The array ID token is produced asynchronously by the Array
+        // Manager: clear the slot and deliver the reference by event.
+        self.inst.clear_slot(dst);
+        let id = ArrayId(self.sim.next_array);
+        self.sim.next_array += 1;
+        self.sim
+            .arrays
+            .push((id, name.to_string(), ArrayShape::new(dims.to_vec())));
+        self.sim.register_array(pe, id, name, dims, distributed, pe);
+        let finish = self
+            .sim
+            .schedule_unit(pe, AM, *self.t, self.timing.array_allocate);
+        self.sim.push_event(
+            finish,
+            EventKind::Deliver {
+                pe,
+                instance: self.inst.id,
+                slot: dst,
+                value: Value::ArrayRef(id),
+            },
+        );
+        // Distributing allocate: broadcast the request to all PEs.
+        if distributed {
+            for q in 0..self.sim.pes.len() {
+                if q != pe {
+                    self.sim.send_message(
+                        pe,
+                        q,
+                        Message::RemoteAlloc {
+                            array: id,
+                            name: name.to_string(),
+                            dims: dims.to_vec(),
+                            distributed: true,
+                            origin: pe,
+                        },
+                        finish,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn with_header<R>(
+        &mut self,
+        id: ArrayId,
+        f: impl FnOnce(&ArrayHeader) -> R,
+    ) -> Result<R, String> {
+        let pe = self.pe;
+        match self.sim.pes[pe].memory.header(id) {
+            Some(header) => Ok(f(header)),
+            None => Err(format!("array {id} has no header on PE{pe}")),
+        }
+    }
+
+    fn load_element(&mut self, id: ArrayId, offset: usize, dst: SlotId) -> Result<Loaded, String> {
+        let pe = self.pe;
+        let waiter = Waiter {
+            pe,
+            instance: self.inst.id,
+            slot: dst,
+        };
+        match self.sim.pes[pe].memory.read(id, offset, waiter) {
+            Ok(ReadOutcome::LocalPresent(v)) => {
+                self.sim.pes[pe].stats.local_reads += 1;
+                Ok(Loaded::Ready(v))
+            }
+            Ok(ReadOutcome::CacheHit(v)) => {
+                self.sim.pes[pe].stats.cache_hit_reads += 1;
+                Ok(Loaded::Ready(v))
+            }
+            Ok(ReadOutcome::LocalDeferred) => {
+                self.sim.pes[pe].stats.deferred_reads += 1;
+                self.sim
+                    .schedule_unit(pe, AM, *self.t, self.timing.enqueue_read);
+                Ok(Loaded::Deferred)
+            }
+            Ok(ReadOutcome::RemoteMiss { owner, .. }) => {
+                self.sim.pes[pe].stats.remote_reads += 1;
+                let finish = self.sim.schedule_unit(
+                    pe,
+                    AM,
+                    *self.t,
+                    self.timing.memory_read + self.timing.unit_signal,
+                );
+                self.sim.send_message(
+                    pe,
+                    owner.index(),
+                    Message::ReadRequest {
+                        array: id,
+                        offset,
+                        waiter,
+                    },
+                    finish,
+                );
+                Ok(Loaded::Deferred)
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn store_element(&mut self, id: ArrayId, offset: usize, value: Value) -> Result<(), String> {
+        let pe = self.pe;
+        match self.sim.pes[pe].memory.write(id, offset, value) {
+            Ok(WriteOutcome::Local { woken }) => {
+                self.sim.pes[pe].stats.local_writes += 1;
+                let service =
+                    self.timing.memory_write + woken.len() as f64 * self.timing.unit_signal;
+                let finish = self.sim.schedule_unit(pe, AM, *self.t, service);
+                for waiter in woken {
+                    self.sim.send_to_waiter(pe, waiter, value, finish);
+                }
+                Ok(())
+            }
+            Ok(WriteOutcome::Remote { owner }) => {
+                self.sim.pes[pe].stats.remote_writes += 1;
+                let finish = self.sim.schedule_unit(
+                    pe,
+                    AM,
+                    *self.t,
+                    self.timing.memory_write + self.timing.unit_signal,
+                );
+                self.sim.send_message(
+                    pe,
+                    owner.index(),
+                    Message::WriteForward {
+                        array: id,
+                        offset,
+                        value,
+                    },
+                    finish,
+                );
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+impl ExecCtx for SimCtx<'_> {
+    fn pc(&self) -> usize {
+        self.inst.pc
+    }
+
+    fn set_pc(&mut self, pc: usize) {
+        self.inst.pc = pc;
+    }
+
+    fn slot(&self, slot: SlotId) -> Option<Value> {
+        self.inst.slot(slot)
+    }
+
+    fn set_slot(&mut self, slot: SlotId, value: Value) {
+        self.inst.set_slot(slot, value);
+    }
+
+    fn clear_slot(&mut self, slot: SlotId) {
+        self.inst.clear_slot(slot);
+    }
+
+    fn pe(&self) -> usize {
+        self.pe
+    }
+
+    fn charge(&mut self, cost: Cost) {
+        let us = match cost {
+            Cost::Binary { op, float } => self.timing.binary_op(op, float),
+            Cost::Unary { op, float } => self.timing.unary_op(op, float),
+            Cost::Move => self.timing.memory_write,
+            Cost::Control => self.timing.int_alu,
+            Cost::ArrayAlloc => self.timing.unit_signal,
+            Cost::ArrayAccess => self.timing.local_array_access,
+            Cost::RangeFilter => 5.0 * self.timing.memory_read,
+            Cost::Spawn => self.timing.unit_signal,
+            Cost::Return => self.timing.int_alu,
+            Cost::ContextSwitch => {
+                self.sim.pes[self.pe].stats.context_switches += 1;
+                *self.t += self.timing.context_switch;
+                return;
+            }
+        };
+        self.sim.pes[self.pe].stats.instructions += 1;
+        *self.t += us;
+    }
+
+    fn should_stop(&self) -> bool {
+        self.sim.error.is_some()
+    }
+
+    fn spawn(
+        &mut self,
+        target: SpId,
+        args: &[Operand],
+        distributed: bool,
+        return_to: Option<SlotId>,
+    ) -> Result<(), String> {
+        let arg_values: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+        let pe = self.pe;
+        let return_to = return_to.map(|slot| Waiter {
+            pe,
+            instance: self.inst.id,
+            slot,
+        });
+        if distributed {
+            for q in 0..self.sim.pes.len() {
+                if q == pe {
+                    self.sim
+                        .create_instance(pe, target, arg_values.clone(), return_to, *self.t);
+                } else {
+                    self.sim.send_message(
+                        pe,
+                        q,
+                        Message::Spawn {
+                            template: target,
+                            args: arg_values.clone(),
+                            return_to: None,
+                        },
+                        *self.t,
+                    );
+                }
+            }
+        } else {
+            self.sim
+                .create_instance(pe, target, arg_values, return_to, *self.t);
+        }
+        Ok(())
     }
 }
 

@@ -2,14 +2,15 @@
 //! *tasks*, and per-job state mirroring the native engine's `Job` model.
 //!
 //! The worker threads here are dumb pollers: pop a task, check its frame
-//! out, run SP instructions until the task finishes or returns `Pending`
-//! (suspends on an absent slot), then pop the next task. All blocking
-//! state lives in the tasks themselves (see [`super::task`]): there is no
-//! blocked-instance registry and no mailbox map, so delivering a value
-//! locks only the receiving task. The job-global liveness counters (for
-//! deadlock detection) and the executor's ready count are still shared
-//! locks, but they are taken once per *flush* and per woken batch, not
-//! once per delivered value.
+//! out, run SP instructions through the shared core
+//! (`pods_sp::exec::run_instance`) until the task finishes or the firing
+//! rule blocks on an absent slot (the task suspends), then pop the next
+//! task. All blocking state lives in the tasks themselves (see
+//! [`super::task`]): there is no blocked-instance registry and no mailbox
+//! map, so delivering a value locks only the receiving task. The
+//! job-global liveness counters (for deadlock detection) and the
+//! executor's ready count are still shared locks, but they are taken once
+//! per *flush* and per woken batch, not once per delivered value.
 //!
 //! Per-job state is the same model the native engine uses — one I-structure
 //! store, `live`/`in_flight` liveness counts, first-error slot, result
@@ -24,24 +25,17 @@ use crate::engine::{
     cancellation_error, EngineOutcome, EngineStats, InstanceArena, JobCounts, ReadSlots,
 };
 use crate::error::PodsError;
-use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
-use pods_machine::{eval_binary, eval_unary, ArraySnapshot, InstanceId, SimulationError};
+use pods_istructure::{
+    ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value,
+};
+use pods_machine::{ArraySnapshot, InstanceId, SimulationError};
 use pods_partition::PartitionReport;
-use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use pods_sp::exec::{self, ArrayOps, ExecCtx, Loaded, RunExit};
+use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-
-/// What executing one instruction asks the poll loop to do next.
-enum Step {
-    Next,
-    Jump(usize),
-    /// Suspend on the slot; the program counter is already past the
-    /// issuing instruction.
-    Pending(SlotId),
-    Finished(Option<Value>),
-}
 
 /// Per-poll memo of array directory lookups (see
 /// [`crate::engine::ArrayCache`], shared with the native engine).
@@ -306,22 +300,22 @@ impl ExecShared {
     }
 
     /// Suspends `task` on `slot` unless a racing delivery already filled it
-    /// (then the frame comes straight back and the poll continues).
-    /// `issued_pc` is the instruction that caused the wait (for deferred
-    /// loads the frame's pc has already advanced past it), so deadlock
-    /// diagnostics point at the blocking instruction, not its successor.
+    /// (then the frame comes straight back and the poll continues). The
+    /// frame's pc addresses the blocked (consuming) instruction — the
+    /// shared core only blocks at the firing rule, never mid-instruction —
+    /// so deadlock diagnostics point at the instruction that is actually
+    /// waiting, on every engine.
     fn suspend(
         &self,
         job: &Arc<AsyncJob>,
         task: &Arc<TaskHandle>,
         frame: Frame,
         slot: SlotId,
-        issued_pc: usize,
     ) -> Option<Frame> {
         let info = SuspendInfo {
             inst: task.id,
             template: task.template,
-            pc: issued_pc,
+            pc: frame.pc,
             slot,
         };
         if let Some(still_running) = task.try_suspend(frame, slot) {
@@ -384,238 +378,19 @@ impl ExecShared {
         c.live -= 1;
     }
 
-    fn operand(&self, frame: &Frame, op: &Operand) -> Value {
-        match op {
-            Operand::Slot(s) => frame.slot(*s).unwrap_or(Value::Unit),
-            Operand::Int(v) => Value::Int(*v),
-            Operand::Float(v) => Value::Float(*v),
-            Operand::Bool(v) => Value::Bool(*v),
-        }
-    }
-
-    fn array_offset(
-        &self,
-        job: &AsyncJob,
-        cache: &mut ArrayCache,
-        frame: &Frame,
-        array: Value,
-        indices: &[Operand],
-    ) -> Result<(ArrayId, usize), String> {
-        let Some(id) = array.as_array() else {
-            return Err(format!("expected an array reference, found {array}"));
-        };
-        let idx: Vec<i64> = indices
-            .iter()
-            .map(|i| self.operand(frame, i).as_i64().unwrap_or(-1))
-            .collect();
-        let shared = cache.get(&job.store, id)?;
-        match shared.header().offset_of(&idx) {
-            Some(offset) => Ok((id, offset)),
-            None => Err(format!(
-                "index {idx:?} out of bounds for {} array `{}`",
-                shared.header().shape(),
-                shared.header().name()
-            )),
-        }
-    }
-
-    /// Executes one instruction. The semantics (operand coercion,
-    /// zero-dimension allocation, Range-Filter clamping, split-phase loads)
-    /// mirror the native engine exactly; only the suspension mechanics
-    /// differ — the differential test suite holds the two to byte-identical
-    /// results.
-    #[allow(clippy::too_many_arguments)] // hot path: a params struct would be built per instruction
-    fn execute(
-        &self,
-        job: &Arc<AsyncJob>,
-        cache: &mut ArrayCache,
-        task: &Arc<TaskHandle>,
-        frame: &mut Frame,
-        instr: &Instr,
-        w: usize,
-        ctx: &mut WorkerCtx,
-    ) -> Result<Step, String> {
-        match instr {
-            Instr::Binary { op, dst, lhs, rhs } => {
-                let a = self.operand(frame, lhs);
-                let b = self.operand(frame, rhs);
-                let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
-                frame.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Unary { op, dst, src } => {
-                let a = self.operand(frame, src);
-                let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
-                frame.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Move { dst, src } => {
-                let v = self.operand(frame, src);
-                frame.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Jump { target } => Ok(Step::Jump(*target)),
-            Instr::BranchIfFalse { cond, target } => {
-                if self.operand(frame, cond).as_bool().unwrap_or(false) {
-                    Ok(Step::Next)
-                } else {
-                    Ok(Step::Jump(*target))
-                }
-            }
-            Instr::ArrayAlloc {
-                dst,
-                name,
-                dims,
-                distributed,
-            } => {
-                let dim_values: Vec<usize> = dims
-                    .iter()
-                    .map(|d| self.operand(frame, d).as_i64().unwrap_or(0).max(0) as usize)
-                    .collect();
-                if dim_values.contains(&0) {
-                    return Err(format!("array `{name}` allocated with a zero dimension"));
-                }
-                let id = ArrayId(job.next_array.fetch_add(1, Ordering::Relaxed));
-                let total: usize = dim_values.iter().product();
-                let partitioning = if *distributed {
-                    Partitioning::new(total, job.page_size, job.workers)
-                } else {
-                    Partitioning::single_owner(total, job.page_size, job.workers, PeId(task.pe))
-                };
-                job.store
-                    .allocate(
-                        id,
-                        name.clone(),
-                        pods_istructure::ArrayShape::new(dim_values),
-                        partitioning,
-                    )
-                    .map_err(|e| e.to_string())?;
-                frame.set_slot(*dst, Value::ArrayRef(id));
-                Ok(Step::Next)
-            }
-            Instr::ArrayLoad {
-                dst,
-                array,
-                indices,
-            } => {
-                let array_v = self.operand(frame, array);
-                let (id, offset) = self.array_offset(job, cache, frame, array_v, indices)?;
-                let shared = cache.get(&job.store, id)?;
-                let waker = AsyncWaiter {
-                    task: Arc::clone(task),
-                    slot: *dst,
-                };
-                match shared.read(offset, waker).map_err(|e| e.to_string())? {
-                    SharedReadResult::Present(v) => {
-                        frame.set_slot(*dst, v);
-                        Ok(Step::Next)
-                    }
-                    SharedReadResult::Deferred => {
-                        // The producing write will wake the task through
-                        // the registered waker; resume after the load.
-                        frame.clear_slot(*dst);
-                        frame.pc += 1;
-                        Ok(Step::Pending(*dst))
-                    }
-                }
-            }
-            Instr::ArrayStore {
-                array,
-                indices,
-                value,
-            } => {
-                let array_v = self.operand(frame, array);
-                let v = self.operand(frame, value);
-                let (id, offset) = self.array_offset(job, cache, frame, array_v, indices)?;
-                let shared = cache.get(&job.store, id)?;
-                // Wakers land in the worker's delivery buffer; they fire
-                // when the buffer fills or at the next task boundary.
-                shared
-                    .write_into(offset, v, &mut ctx.delivery)
-                    .map_err(|e| e.to_string())?;
-                if ctx.delivery.len() >= job.delivery_batch {
-                    self.flush(w, job, &mut ctx.delivery);
-                }
-                Ok(Step::Next)
-            }
-            Instr::Spawn {
-                target,
-                args,
-                distributed,
-                ret,
-            } => {
-                // Marshal arguments into the worker's scratch vector (no
-                // per-spawn allocation; distributed spawns reuse one slice).
-                let WorkerCtx {
-                    arena, spawn_args, ..
-                } = ctx;
-                spawn_args.clear();
-                spawn_args.extend(args.iter().map(|a| self.operand(frame, a)));
-                let return_to = ret.map(|slot| {
-                    frame.clear_slot(slot);
-                    (Arc::clone(task), slot)
-                });
-                if *distributed {
-                    for q in 0..job.workers {
-                        let ret_here = if q == task.pe {
-                            return_to.clone()
-                        } else {
-                            None
-                        };
-                        self.spawn_task(w, job, *target, spawn_args, q, ret_here, arena);
-                    }
-                } else {
-                    self.spawn_task(w, job, *target, spawn_args, task.pe, return_to, arena);
-                }
-                Ok(Step::Next)
-            }
-            Instr::RangeLo {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            }
-            | Instr::RangeHi {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            } => {
-                let is_lo = matches!(instr, Instr::RangeLo { .. });
-                let array_v = self.operand(frame, array);
-                let default_v = self.operand(frame, default).as_i64().unwrap_or(0);
-                let outer_v = outer
-                    .as_ref()
-                    .map(|o| self.operand(frame, o).as_i64().unwrap_or(0));
-                let Some(id) = array_v.as_array() else {
-                    return Err(format!("range filter on a non-array value {array_v}"));
-                };
-                let shared = cache.get(&job.store, id)?;
-                let range = shared.header().responsibility(PeId(task.pe), *dim, outer_v);
-                let value = if is_lo {
-                    default_v.max(range.start)
-                } else {
-                    default_v.min(range.end)
-                };
-                frame.set_slot(*dst, Value::Int(value));
-                Ok(Step::Next)
-            }
-            Instr::Return { value } => {
-                let v = value.as_ref().map(|op| self.operand(frame, op));
-                Ok(Step::Finished(v))
-            }
-        }
-    }
-
     /// Polls one task: runs its instance until it finishes, suspends, or
-    /// its job stops. `ctx.delivery` is empty on entry and on every return
-    /// — progress exits flush, failure exits clear (the job is already
-    /// failing and the buffer must not leak into another job's poll).
-    /// Frames the worker still holds at a terminal exit (finish, error,
-    /// stop) are recycled into its arena; a suspension hands the frame
-    /// back to the task instead.
+    /// its job stops. The instruction semantics live in the shared core
+    /// ([`pods_sp::exec::run_instance`]); this method supplies the
+    /// cooperative suspension strategy — `try_suspend` saves the frame in
+    /// the task (re-checking for a wake that raced the suspension) and the
+    /// I-structure wakers re-queue it.
+    ///
+    /// `ctx.delivery` is empty on entry and on every return — progress
+    /// exits flush, failure exits clear (the job is already failing and
+    /// the buffer must not leak into another job's poll). Frames the
+    /// worker still holds at a terminal exit (finish, error, stop) are
+    /// recycled into its arena; a suspension hands the frame back to the
+    /// task instead.
     fn poll(&self, job: &Arc<AsyncJob>, task: &Arc<TaskHandle>, w: usize, ctx: &mut WorkerCtx) {
         debug_assert!(ctx.delivery.is_empty(), "delivery buffer leaked a poll");
         let executed = job.polls.fetch_add(1, Ordering::Relaxed) + 1;
@@ -632,57 +407,41 @@ impl ExecShared {
         let slot_table = &job.read_slots[task.template.index()];
         let mut cache = ArrayCache::default();
         loop {
-            if job.stop.load(Ordering::Relaxed) {
-                self.abandon(job, task);
-                ctx.delivery.clear();
-                ctx.arena.recycle(std::mem::take(&mut frame.slots));
-                return;
-            }
-            if self.stop.load(Ordering::Relaxed) {
-                // The pool is being torn down: cut the job short so its
-                // waiter gets a cancellation error instead of hanging.
-                job.fail(cancellation_error());
-                self.abandon(job, task);
-                ctx.delivery.clear();
-                ctx.arena.recycle(std::mem::take(&mut frame.slots));
-                return;
-            }
-            if frame.pc >= template.code.len() {
-                self.finish(w, job, task, None, &mut ctx.delivery);
-                ctx.arena.recycle(std::mem::take(&mut frame.slots));
-                return;
-            }
-            let instr = &template.code[frame.pc];
-            // Dataflow firing rule: every needed operand must be present.
-            if let Some(missing) = slot_table[frame.pc]
-                .iter()
-                .copied()
-                .find(|s| !frame.is_present(*s))
-            {
-                self.flush(w, job, &mut ctx.delivery);
-                let issued_pc = frame.pc;
-                match self.suspend(job, task, frame, missing, issued_pc) {
-                    Some(resumed) => {
-                        frame = resumed;
-                        continue;
-                    }
-                    None => return,
+            let exit = {
+                let mut cx = AsyncCtx {
+                    pool: self,
+                    job,
+                    task,
+                    frame: &mut frame,
+                    cache: &mut cache,
+                    w,
+                    worker: ctx,
+                };
+                exec::run_instance(&mut cx, &template.code, slot_table)
+            };
+            match exit {
+                Ok(RunExit::Finished(v)) => {
+                    self.finish(w, job, task, v, &mut ctx.delivery);
+                    ctx.arena.recycle(std::mem::take(&mut frame.slots));
+                    return;
                 }
-            }
-            match self.execute(job, &mut cache, task, &mut frame, instr, w, ctx) {
-                Ok(Step::Next) => frame.pc += 1,
-                Ok(Step::Jump(target)) => frame.pc = target,
-                Ok(Step::Pending(slot)) => {
+                Ok(RunExit::Blocked(slot)) => {
                     self.flush(w, job, &mut ctx.delivery);
-                    // The deferred load advanced the pc past itself.
-                    let issued_pc = frame.pc - 1;
-                    match self.suspend(job, task, frame, slot, issued_pc) {
+                    match self.suspend(job, task, frame, slot) {
                         Some(resumed) => frame = resumed,
                         None => return,
                     }
                 }
-                Ok(Step::Finished(v)) => {
-                    self.finish(w, job, task, v, &mut ctx.delivery);
+                Ok(RunExit::Stopped) => {
+                    if !job.stop.load(Ordering::Relaxed) {
+                        // The pool is being torn down: cut the job short so
+                        // its waiter gets a cancellation error instead of
+                        // hanging. (Otherwise the job already failed and
+                        // this task is simply abandoned.)
+                        job.fail(cancellation_error());
+                    }
+                    self.abandon(job, task);
+                    ctx.delivery.clear();
                     ctx.arena.recycle(std::mem::take(&mut frame.slots));
                     return;
                 }
@@ -720,6 +479,173 @@ impl ExecShared {
                 let _unused = self.cv.wait(c).expect("coord poisoned");
             }
         }
+    }
+}
+
+/// The async engine's execution context for the shared instruction core
+/// (`pods_sp::exec`): one poll of one task. The semantics live in the
+/// core; this adapter supplies the cooperative *mechanics* — the shared
+/// store reached through waker tags (an `Arc` of the task plus the slot),
+/// the worker-local spawn scratch and frame arena, and the job/pool stop
+/// flags. Costs are free (`charge` keeps its no-op default).
+struct AsyncCtx<'a> {
+    pool: &'a ExecShared,
+    job: &'a Arc<AsyncJob>,
+    task: &'a Arc<TaskHandle>,
+    frame: &'a mut Frame,
+    cache: &'a mut ArrayCache,
+    w: usize,
+    worker: &'a mut WorkerCtx,
+}
+
+impl ArrayOps for AsyncCtx<'_> {
+    fn alloc_array(
+        &mut self,
+        dst: SlotId,
+        name: &str,
+        dims: &[usize],
+        distributed: bool,
+    ) -> Result<(), String> {
+        let id = ArrayId(self.job.next_array.fetch_add(1, Ordering::Relaxed));
+        let total: usize = dims.iter().product();
+        let partitioning = if distributed {
+            Partitioning::new(total, self.job.page_size, self.job.workers)
+        } else {
+            Partitioning::single_owner(
+                total,
+                self.job.page_size,
+                self.job.workers,
+                PeId(self.task.pe),
+            )
+        };
+        self.job
+            .store
+            .allocate(
+                id,
+                name.to_string(),
+                pods_istructure::ArrayShape::new(dims.to_vec()),
+                partitioning,
+            )
+            .map_err(|e| e.to_string())?;
+        self.frame.set_slot(dst, Value::ArrayRef(id));
+        Ok(())
+    }
+
+    fn with_header<R>(
+        &mut self,
+        id: ArrayId,
+        f: impl FnOnce(&ArrayHeader) -> R,
+    ) -> Result<R, String> {
+        let shared = self.cache.get(&self.job.store, id)?;
+        Ok(f(shared.header()))
+    }
+
+    fn load_element(&mut self, id: ArrayId, offset: usize, dst: SlotId) -> Result<Loaded, String> {
+        let shared = self.cache.get(&self.job.store, id)?;
+        let waker = AsyncWaiter {
+            task: Arc::clone(self.task),
+            slot: dst,
+        };
+        match shared.read(offset, waker).map_err(|e| e.to_string())? {
+            SharedReadResult::Present(v) => Ok(Loaded::Ready(v)),
+            // The producing write will wake the task through the registered
+            // waker; split-phase, so the core keeps the task running until
+            // the value is consumed.
+            SharedReadResult::Deferred => Ok(Loaded::Deferred),
+        }
+    }
+
+    fn store_element(&mut self, id: ArrayId, offset: usize, value: Value) -> Result<(), String> {
+        // Wakers land in the worker's delivery buffer; they fire when the
+        // buffer fills or at the next task boundary.
+        {
+            let shared = self.cache.get(&self.job.store, id)?;
+            shared
+                .write_into(offset, value, &mut self.worker.delivery)
+                .map_err(|e| e.to_string())?;
+        }
+        if self.worker.delivery.len() >= self.job.delivery_batch {
+            self.pool.flush(self.w, self.job, &mut self.worker.delivery);
+        }
+        Ok(())
+    }
+}
+
+impl ExecCtx for AsyncCtx<'_> {
+    #[inline(always)]
+    fn pc(&self) -> usize {
+        self.frame.pc
+    }
+
+    #[inline(always)]
+    fn set_pc(&mut self, pc: usize) {
+        self.frame.pc = pc;
+    }
+
+    #[inline(always)]
+    fn slot(&self, slot: SlotId) -> Option<Value> {
+        self.frame.slot(slot)
+    }
+
+    #[inline(always)]
+    fn set_slot(&mut self, slot: SlotId, value: Value) {
+        self.frame.set_slot(slot, value);
+    }
+
+    #[inline(always)]
+    fn clear_slot(&mut self, slot: SlotId) {
+        self.frame.clear_slot(slot);
+    }
+
+    #[inline(always)]
+    fn pe(&self) -> usize {
+        self.task.pe
+    }
+
+    #[inline(always)]
+    fn should_stop(&self) -> bool {
+        self.job.stop.load(Ordering::Relaxed) || self.pool.stop.load(Ordering::Relaxed)
+    }
+
+    fn spawn(
+        &mut self,
+        target: SpId,
+        args: &[Operand],
+        distributed: bool,
+        return_to: Option<SlotId>,
+    ) -> Result<(), String> {
+        // Marshal arguments into the worker's scratch vector (no per-spawn
+        // allocation; distributed spawns reuse one slice).
+        let mut buf = std::mem::take(&mut self.worker.spawn_args);
+        buf.clear();
+        buf.extend(args.iter().map(|a| self.operand(a)));
+        let ret = return_to.map(|slot| (Arc::clone(self.task), slot));
+        if distributed {
+            for q in 0..self.job.workers {
+                let ret_here = if q == self.task.pe { ret.clone() } else { None };
+                self.pool.spawn_task(
+                    self.w,
+                    self.job,
+                    target,
+                    &buf,
+                    q,
+                    ret_here,
+                    &mut self.worker.arena,
+                );
+            }
+        } else {
+            self.pool.spawn_task(
+                self.w,
+                self.job,
+                target,
+                &buf,
+                self.task.pe,
+                ret,
+                &mut self.worker.arena,
+            );
+        }
+        self.worker.spawn_args = buf;
+        Ok(())
     }
 }
 

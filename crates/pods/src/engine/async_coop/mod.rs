@@ -11,9 +11,11 @@
 //!
 //! This engine attacks it the way modern async runtimes do: each SP
 //! instance is a **resumable state machine** ([`task::TaskHandle`]) whose
-//! suspension state lives in the task itself. A blocked I-structure read
-//! returns `Pending` and registers a **waker** — an `Arc` of the task plus
-//! the destination slot — with the shared store's deferred-reader queue;
+//! suspension state lives in the task itself. A deferred I-structure read
+//! registers a **waker** — an `Arc` of the task plus the destination slot
+//! — with the shared store's deferred-reader queue and the task keeps
+//! running until the value is actually consumed (the split-phase rule of
+//! the shared core); when the firing rule blocks, the task suspends, and
 //! the write that eventually fills the element delivers the value by
 //! locking only that one task and re-queues it if its awaited slot
 //! arrived. A small cooperative executor ([`executor::AsyncPool`]) runs
@@ -33,9 +35,10 @@
 //! * same per-job model: one I-structure store, `live`/`in_flight`
 //!   liveness counts with exact deadlock detection, first-error slot,
 //!   drop-cancellation at instruction boundaries,
-//! * same execution semantics (operand coercion, Range-Filter clamping,
-//!   split-phase loads) held to identical results by the differential
-//!   suite,
+//! * same execution semantics *by construction*: both schedulers execute
+//!   instructions through the shared core (`pods_sp::exec`), so operand
+//!   coercion, Range-Filter clamping, and split-phase loads cannot
+//!   diverge (the differential suite double-checks end to end),
 //! * same knobs: [`crate::RunOptions::max_events`] bounds polls,
 //!   [`crate::RunOptions::delivery_batch`] bounds the per-worker waker
 //!   buffer (flushed at every task boundary, so liveness is unaffected).

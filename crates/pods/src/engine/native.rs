@@ -73,14 +73,21 @@ use super::{
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
-use pods_istructure::{ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value};
-use pods_machine::{eval_binary, eval_unary, ArraySnapshot, InstanceId, SimulationError};
+use pods_istructure::{
+    ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value,
+};
+use pods_machine::{ArraySnapshot, InstanceId, SimulationError};
 use pods_partition::PartitionReport;
-use pods_sp::{Instr, Operand, SlotId, SpId, SpProgram};
+use pods_sp::exec::{self, ArrayOps, ExecCtx, Loaded, RunExit};
+use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Re-exports of the shared core's read-slot machinery under the names the
+/// rest of the `pods` crate historically used.
+pub(crate) use pods_sp::exec::{build_read_slots, ReadSlots};
 
 /// Executes the partitioned SP program on a real work-stealing thread pool
 /// with `opts.num_pes` workers. Reports wall-clock time — the only honest
@@ -166,16 +173,6 @@ impl NInstance {
     }
 }
 
-/// What executing one instruction asks the worker loop to do next.
-enum Step {
-    Next,
-    Jump(usize),
-    /// Park the instance waiting on the slot. The program counter has
-    /// already been advanced past the issuing instruction.
-    Park(SlotId),
-    Finished(Option<Value>),
-}
-
 /// An instance parked on a missing operand.
 struct Blocked {
     inst: NInstance,
@@ -185,22 +182,6 @@ struct Blocked {
 /// Per-task memo of array directory lookups (see
 /// [`crate::engine::ArrayCache`], shared with the async engine).
 type ArrayCache = crate::engine::ArrayCache<NativeWaiter>;
-
-/// Precomputed read-slot lists per `(template, pc)`: the firing-rule check
-/// runs for every executed instruction, and rebuilding the list (a heap
-/// allocation) each time is measurable across millions of instructions.
-/// Built once per prepared program and `Arc`-shared by every job that runs
-/// it.
-pub(crate) type ReadSlots = Vec<Vec<Vec<SlotId>>>;
-
-/// Builds the [`ReadSlots`] table for a (partitioned) SP program.
-pub(crate) fn build_read_slots(program: &SpProgram) -> ReadSlots {
-    program
-        .templates()
-        .iter()
-        .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
-        .collect()
-}
 
 /// Everything program-shaped a job needs, in `Arc`-shared form so warm
 /// submissions of the same prepared program pay zero setup: the partitioned
@@ -593,222 +574,12 @@ impl PoolShared {
         c.live -= 1;
     }
 
-    fn operand(&self, inst: &NInstance, op: &Operand) -> Value {
-        match op {
-            Operand::Slot(s) => inst.slot(*s).unwrap_or(Value::Unit),
-            Operand::Int(v) => Value::Int(*v),
-            Operand::Float(v) => Value::Float(*v),
-            Operand::Bool(v) => Value::Bool(*v),
-        }
-    }
-
-    fn array_offset(
-        &self,
-        job: &Job,
-        cache: &mut ArrayCache,
-        inst: &NInstance,
-        array: Value,
-        indices: &[Operand],
-    ) -> Result<(ArrayId, usize), String> {
-        let Some(id) = array.as_array() else {
-            return Err(format!("expected an array reference, found {array}"));
-        };
-        let idx: Vec<i64> = indices
-            .iter()
-            .map(|i| self.operand(inst, i).as_i64().unwrap_or(-1))
-            .collect();
-        let shared = cache.get(&job.store, id)?;
-        match shared.header().offset_of(&idx) {
-            Some(offset) => Ok((id, offset)),
-            None => Err(format!(
-                "index {idx:?} out of bounds for {} array `{}`",
-                shared.header().shape(),
-                shared.header().name()
-            )),
-        }
-    }
-
-    fn execute(
-        &self,
-        job: &Arc<Job>,
-        cache: &mut ArrayCache,
-        inst: &mut NInstance,
-        instr: &Instr,
-        w: usize,
-        ctx: &mut WorkerCtx,
-    ) -> Result<Step, String> {
-        match instr {
-            Instr::Binary { op, dst, lhs, rhs } => {
-                let a = self.operand(inst, lhs);
-                let b = self.operand(inst, rhs);
-                let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
-                inst.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Unary { op, dst, src } => {
-                let a = self.operand(inst, src);
-                let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
-                inst.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Move { dst, src } => {
-                let v = self.operand(inst, src);
-                inst.set_slot(*dst, v);
-                Ok(Step::Next)
-            }
-            Instr::Jump { target } => Ok(Step::Jump(*target)),
-            Instr::BranchIfFalse { cond, target } => {
-                if self.operand(inst, cond).as_bool().unwrap_or(false) {
-                    Ok(Step::Next)
-                } else {
-                    Ok(Step::Jump(*target))
-                }
-            }
-            Instr::ArrayAlloc {
-                dst,
-                name,
-                dims,
-                distributed,
-            } => {
-                let dim_values: Vec<usize> = dims
-                    .iter()
-                    .map(|d| self.operand(inst, d).as_i64().unwrap_or(0).max(0) as usize)
-                    .collect();
-                if dim_values.contains(&0) {
-                    return Err(format!("array `{name}` allocated with a zero dimension"));
-                }
-                let id = ArrayId(job.next_array.fetch_add(1, Ordering::Relaxed));
-                let total: usize = dim_values.iter().product();
-                let partitioning = if *distributed {
-                    Partitioning::new(total, job.page_size, job.workers)
-                } else {
-                    Partitioning::single_owner(total, job.page_size, job.workers, PeId(inst.pe))
-                };
-                job.store
-                    .allocate(
-                        id,
-                        name.clone(),
-                        pods_istructure::ArrayShape::new(dim_values),
-                        partitioning,
-                    )
-                    .map_err(|e| e.to_string())?;
-                inst.set_slot(*dst, Value::ArrayRef(id));
-                Ok(Step::Next)
-            }
-            Instr::ArrayLoad {
-                dst,
-                array,
-                indices,
-            } => {
-                let array_v = self.operand(inst, array);
-                let (id, offset) = self.array_offset(job, cache, inst, array_v, indices)?;
-                let shared = cache.get(&job.store, id)?;
-                match shared
-                    .read(offset, (inst.id, *dst))
-                    .map_err(|e| e.to_string())?
-                {
-                    SharedReadResult::Present(v) => {
-                        inst.set_slot(*dst, v);
-                        Ok(Step::Next)
-                    }
-                    SharedReadResult::Deferred => {
-                        // The producing write will deliver into `dst`;
-                        // resume after the load.
-                        inst.clear_slot(*dst);
-                        inst.pc += 1;
-                        Ok(Step::Park(*dst))
-                    }
-                }
-            }
-            Instr::ArrayStore {
-                array,
-                indices,
-                value,
-            } => {
-                let array_v = self.operand(inst, array);
-                let v = self.operand(inst, value);
-                let (id, offset) = self.array_offset(job, cache, inst, array_v, indices)?;
-                let shared = cache.get(&job.store, id)?;
-                // Wake-ups land in the worker's delivery buffer; they are
-                // flushed in one scheduler transaction when the buffer
-                // fills (or at the next task boundary).
-                shared
-                    .write_into(offset, v, &mut ctx.delivery)
-                    .map_err(|e| e.to_string())?;
-                if ctx.delivery.len() >= job.delivery_batch {
-                    self.flush(w, job, &mut ctx.delivery);
-                }
-                Ok(Step::Next)
-            }
-            Instr::Spawn {
-                target,
-                args,
-                distributed,
-                ret,
-            } => {
-                // Marshal arguments into the worker's scratch vector (no
-                // per-spawn allocation, and distributed spawns reuse one
-                // slice instead of cloning per PE).
-                let WorkerCtx {
-                    arena, spawn_args, ..
-                } = ctx;
-                spawn_args.clear();
-                spawn_args.extend(args.iter().map(|a| self.operand(inst, a)));
-                let return_to = ret.map(|slot| {
-                    inst.clear_slot(slot);
-                    (inst.id, slot)
-                });
-                if *distributed {
-                    for q in 0..job.workers {
-                        let ret_here = if q == inst.pe { return_to } else { None };
-                        self.spawn_instance(w, job, *target, spawn_args, q, ret_here, arena);
-                    }
-                } else {
-                    self.spawn_instance(w, job, *target, spawn_args, inst.pe, return_to, arena);
-                }
-                Ok(Step::Next)
-            }
-            Instr::RangeLo {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            }
-            | Instr::RangeHi {
-                dst,
-                array,
-                dim,
-                default,
-                outer,
-            } => {
-                let is_lo = matches!(instr, Instr::RangeLo { .. });
-                let array_v = self.operand(inst, array);
-                let default_v = self.operand(inst, default).as_i64().unwrap_or(0);
-                let outer_v = outer
-                    .as_ref()
-                    .map(|o| self.operand(inst, o).as_i64().unwrap_or(0));
-                let Some(id) = array_v.as_array() else {
-                    return Err(format!("range filter on a non-array value {array_v}"));
-                };
-                let shared = cache.get(&job.store, id)?;
-                let range = shared.header().responsibility(PeId(inst.pe), *dim, outer_v);
-                let value = if is_lo {
-                    default_v.max(range.start)
-                } else {
-                    default_v.min(range.end)
-                };
-                inst.set_slot(*dst, Value::Int(value));
-                Ok(Step::Next)
-            }
-            Instr::Return { value } => {
-                let v = value.as_ref().map(|op| self.operand(inst, op));
-                Ok(Step::Finished(v))
-            }
-        }
-    }
-
-    /// Runs one instance until it finishes, parks, or its job stops.
+    /// Runs one instance until it finishes, parks, or its job stops. The
+    /// instruction semantics live in the shared core
+    /// ([`pods_sp::exec::run_instance`]); this method supplies the native
+    /// suspension strategy — park in the job's blocked registry with a
+    /// mailbox re-check, resume in place when the mailbox already held the
+    /// awaited value.
     ///
     /// Delivery-buffer discipline: `ctx.delivery` is empty on entry and on
     /// every return. Progress exits (park, finish) *flush* — buffered
@@ -833,57 +604,42 @@ impl PoolShared {
         let slot_table = &job.read_slots[inst.template.index()];
         let mut cache = ArrayCache::default();
         loop {
-            if job.stop.load(Ordering::Relaxed) {
-                self.abandon(job);
-                ctx.delivery.clear();
-                ctx.arena.recycle(std::mem::take(&mut inst.slots));
-                return;
-            }
-            if self.stop.load(Ordering::Relaxed) {
-                // The pool is being torn down: cut the job short so its
-                // waiter gets a cancellation error instead of hanging.
-                job.fail(cancellation_error());
-                self.abandon(job);
-                ctx.delivery.clear();
-                ctx.arena.recycle(std::mem::take(&mut inst.slots));
-                return;
-            }
-            if inst.pc >= template.code.len() {
-                let frame = std::mem::take(&mut inst.slots);
-                self.finish(w, job, inst, None, &mut ctx.delivery);
-                ctx.arena.recycle(frame);
-                return;
-            }
-            let instr = &template.code[inst.pc];
-            // Dataflow firing rule: every needed operand must be present.
-            if let Some(missing) = slot_table[inst.pc]
-                .iter()
-                .copied()
-                .find(|s| !inst.is_present(*s))
-            {
-                self.flush(w, job, &mut ctx.delivery);
-                match self.park(job, inst, missing) {
-                    Some(resumed) => {
-                        inst = resumed;
-                        continue;
-                    }
-                    None => return,
+            let exit = {
+                let mut cx = NativeCtx {
+                    pool: self,
+                    job,
+                    inst: &mut inst,
+                    cache: &mut cache,
+                    w,
+                    worker: ctx,
+                };
+                exec::run_instance(&mut cx, &template.code, slot_table)
+            };
+            match exit {
+                Ok(RunExit::Finished(v)) => {
+                    let frame = std::mem::take(&mut inst.slots);
+                    self.finish(w, job, inst, v, &mut ctx.delivery);
+                    ctx.arena.recycle(frame);
+                    return;
                 }
-            }
-            match self.execute(job, &mut cache, &mut inst, instr, w, ctx) {
-                Ok(Step::Next) => inst.pc += 1,
-                Ok(Step::Jump(target)) => inst.pc = target,
-                Ok(Step::Park(slot)) => {
+                Ok(RunExit::Blocked(slot)) => {
                     self.flush(w, job, &mut ctx.delivery);
                     match self.park(job, inst, slot) {
                         Some(resumed) => inst = resumed,
                         None => return,
                     }
                 }
-                Ok(Step::Finished(v)) => {
-                    let frame = std::mem::take(&mut inst.slots);
-                    self.finish(w, job, inst, v, &mut ctx.delivery);
-                    ctx.arena.recycle(frame);
+                Ok(RunExit::Stopped) => {
+                    if !job.stop.load(Ordering::Relaxed) {
+                        // The pool is being torn down: cut the job short so
+                        // its waiter gets a cancellation error instead of
+                        // hanging. (Otherwise the job itself already
+                        // failed and this task is simply abandoned.)
+                        job.fail(cancellation_error());
+                    }
+                    self.abandon(job);
+                    ctx.delivery.clear();
+                    ctx.arena.recycle(std::mem::take(&mut inst.slots));
                     return;
                 }
                 Err(msg) => {
@@ -923,6 +679,174 @@ impl PoolShared {
                 let _unused = self.cv.wait(c).expect("coord poisoned");
             }
         }
+    }
+}
+
+/// The native engine's execution context for the shared instruction core
+/// (`pods_sp::exec`): one task execution of one instance. The semantics
+/// live in the core; this adapter supplies the native *mechanics* — the
+/// process-wide [`SharedArrayStore`] (with the per-task directory memo and
+/// batched wake-up delivery), the worker-local spawn scratch and frame
+/// arena, and the job/pool stop flags. Costs are free (`charge` keeps its
+/// no-op default): the native engine's only honest clock is the wall.
+struct NativeCtx<'a> {
+    pool: &'a PoolShared,
+    job: &'a Arc<Job>,
+    inst: &'a mut NInstance,
+    cache: &'a mut ArrayCache,
+    w: usize,
+    worker: &'a mut WorkerCtx,
+}
+
+impl ArrayOps for NativeCtx<'_> {
+    fn alloc_array(
+        &mut self,
+        dst: SlotId,
+        name: &str,
+        dims: &[usize],
+        distributed: bool,
+    ) -> Result<(), String> {
+        let id = ArrayId(self.job.next_array.fetch_add(1, Ordering::Relaxed));
+        let total: usize = dims.iter().product();
+        let partitioning = if distributed {
+            Partitioning::new(total, self.job.page_size, self.job.workers)
+        } else {
+            Partitioning::single_owner(
+                total,
+                self.job.page_size,
+                self.job.workers,
+                PeId(self.inst.pe),
+            )
+        };
+        self.job
+            .store
+            .allocate(
+                id,
+                name.to_string(),
+                pods_istructure::ArrayShape::new(dims.to_vec()),
+                partitioning,
+            )
+            .map_err(|e| e.to_string())?;
+        self.inst.set_slot(dst, Value::ArrayRef(id));
+        Ok(())
+    }
+
+    fn with_header<R>(
+        &mut self,
+        id: ArrayId,
+        f: impl FnOnce(&ArrayHeader) -> R,
+    ) -> Result<R, String> {
+        let shared = self.cache.get(&self.job.store, id)?;
+        Ok(f(shared.header()))
+    }
+
+    fn load_element(&mut self, id: ArrayId, offset: usize, dst: SlotId) -> Result<Loaded, String> {
+        let shared = self.cache.get(&self.job.store, id)?;
+        match shared
+            .read(offset, (self.inst.id, dst))
+            .map_err(|e| e.to_string())?
+        {
+            SharedReadResult::Present(v) => Ok(Loaded::Ready(v)),
+            // The producing write will deliver into `dst` through the
+            // scheduler (mailbox or parked-frame fill); split-phase, so the
+            // core keeps the instance running until the value is consumed.
+            SharedReadResult::Deferred => Ok(Loaded::Deferred),
+        }
+    }
+
+    fn store_element(&mut self, id: ArrayId, offset: usize, value: Value) -> Result<(), String> {
+        // Wake-ups land in the worker's delivery buffer; they are flushed
+        // in one scheduler transaction when the buffer fills (or at the
+        // next task boundary).
+        {
+            let shared = self.cache.get(&self.job.store, id)?;
+            shared
+                .write_into(offset, value, &mut self.worker.delivery)
+                .map_err(|e| e.to_string())?;
+        }
+        if self.worker.delivery.len() >= self.job.delivery_batch {
+            self.pool.flush(self.w, self.job, &mut self.worker.delivery);
+        }
+        Ok(())
+    }
+}
+
+impl ExecCtx for NativeCtx<'_> {
+    #[inline(always)]
+    fn pc(&self) -> usize {
+        self.inst.pc
+    }
+
+    #[inline(always)]
+    fn set_pc(&mut self, pc: usize) {
+        self.inst.pc = pc;
+    }
+
+    #[inline(always)]
+    fn slot(&self, slot: SlotId) -> Option<Value> {
+        self.inst.slot(slot)
+    }
+
+    #[inline(always)]
+    fn set_slot(&mut self, slot: SlotId, value: Value) {
+        self.inst.set_slot(slot, value);
+    }
+
+    #[inline(always)]
+    fn clear_slot(&mut self, slot: SlotId) {
+        self.inst.clear_slot(slot);
+    }
+
+    #[inline(always)]
+    fn pe(&self) -> usize {
+        self.inst.pe
+    }
+
+    #[inline(always)]
+    fn should_stop(&self) -> bool {
+        self.job.stop.load(Ordering::Relaxed) || self.pool.stop.load(Ordering::Relaxed)
+    }
+
+    fn spawn(
+        &mut self,
+        target: SpId,
+        args: &[Operand],
+        distributed: bool,
+        return_to: Option<SlotId>,
+    ) -> Result<(), String> {
+        // Marshal arguments into the worker's scratch vector (no per-spawn
+        // allocation, and distributed spawns reuse one slice instead of
+        // cloning per PE).
+        let mut buf = std::mem::take(&mut self.worker.spawn_args);
+        buf.clear();
+        buf.extend(args.iter().map(|a| self.operand(a)));
+        let ret = return_to.map(|slot| (self.inst.id, slot));
+        if distributed {
+            for q in 0..self.job.workers {
+                let ret_here = if q == self.inst.pe { ret } else { None };
+                self.pool.spawn_instance(
+                    self.w,
+                    self.job,
+                    target,
+                    &buf,
+                    q,
+                    ret_here,
+                    &mut self.worker.arena,
+                );
+            }
+        } else {
+            self.pool.spawn_instance(
+                self.w,
+                self.job,
+                target,
+                &buf,
+                self.inst.pe,
+                ret,
+                &mut self.worker.arena,
+            );
+        }
+        self.worker.spawn_args = buf;
+        Ok(())
     }
 }
 

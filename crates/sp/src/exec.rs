@@ -1,0 +1,1534 @@
+//! The shared SP instruction-execution core.
+//!
+//! Three schedulers execute SP instructions: the discrete-event machine
+//! simulator (`pods-machine`), the native work-stealing thread pool, and the
+//! async cooperative executor (both in the `pods` crate). Before this module
+//! existed each of them carried its own hand-copied `match instr`
+//! interpreter, and the differential test suite was the only thing keeping
+//! the three copies from drifting apart — a rule change (or a rule *fix*)
+//! had to be applied three times, identically, by hand.
+//!
+//! This module is the single audited implementation of the *semantics*:
+//! operand coercion, the dataflow firing rule, arithmetic evaluation,
+//! zero-dimension allocation rejection, split-phase load rules, Range-Filter
+//! clamping, spawn argument marshalling, and return routing. Engines differ
+//! only in *mechanics*, expressed through two small traits:
+//!
+//! * [`ArrayOps`] — how I-structure storage is reached: the simulator's
+//!   per-PE [`pods_istructure::ArrayMemory`] (with page caching and remote
+//!   messages) vs the pooled engines' [`pods_istructure::SharedArrayStore`].
+//! * [`ExecCtx`] — the suspension strategy and everything else scheduler
+//!   shaped: frame slots, the program counter, cost accounting (the
+//!   simulator's timing model), spawning, and the stop signal. When the
+//!   firing rule finds an operand absent, [`run_instance`] returns
+//!   [`RunExit::Blocked`] and the engine decides what a suspension *is*:
+//!   the simulator re-queues the instance on an event, the native pool
+//!   parks it in a registry with a mailbox re-check, the async executor
+//!   saves the frame in the task and registers a waker.
+//!
+//! # The unified rules
+//!
+//! Porting the three interpreters onto this core surfaced divergences;
+//! the corrected rule for each is encoded here (and pinned by the
+//! table-driven tests below) so it can never silently fork again:
+//!
+//! * **Split-phase loads** ([`Instr::ArrayLoad`]): issuing a load clears the
+//!   destination slot's presence bit and the SP *keeps running* until the
+//!   value is actually consumed (the firing rule of a later instruction
+//!   blocks on the slot). The simulator always did this; the pooled engines
+//!   used to suspend eagerly at the load itself. One consequence is shared
+//!   deadlock reporting: the diagnosed pc is always the instruction whose
+//!   operands are missing — the consumer — on every engine (previously the
+//!   async engine patched its report to the issuing pc instead).
+//! * **Range-Filter clamping** ([`Instr::RangeLo`] / [`Instr::RangeHi`]):
+//!   the filter *partitions the source iteration range*; it must never
+//!   truncate it. A PE whose responsibility touches the array's edge keeps
+//!   the original bound, so out-of-range iterations still execute (exactly
+//!   once, on the edge PE) and fault in the array access just as the
+//!   sequential oracle faults. The old rule clamped to the edge, silently
+//!   swallowing out-of-bounds iterations that the oracle reports as errors.
+//!   On one PE the filter is now the identity, which is self-evidently the
+//!   sequential semantics.
+//! * **Branch coercion** ([`Instr::BranchIfFalse`]): numbers are truthy
+//!   (non-zero) like the oracle's conditions, but branching on a value with
+//!   no truth value (an array reference, unit) is a runtime error — it used
+//!   to silently take the false edge.
+//! * **Scalar evaluation** ([`eval_binary`] / [`eval_unary`]): integer
+//!   arithmetic is uniformly wrapping. Division and remainder previously
+//!   used the panicking operators, so `i64::MIN / -1` killed the executing
+//!   worker thread (poisoning a whole pool) instead of producing a value;
+//!   negation and absolute value overflowed the same way.
+
+use crate::instr::{Instr, Operand, SlotId, SpId};
+use crate::template::SpProgram;
+use pods_idlang::{BinaryOp, UnaryOp};
+use pods_istructure::{ArrayHeader, ArrayId, DimRange, PeId, Value};
+
+// ---------------------------------------------------------------------------
+// Scalar evaluation (moved here from `pods-machine` so every interpreter —
+// including the sequential oracle — shares one implementation).
+// ---------------------------------------------------------------------------
+
+/// An arithmetic evaluation error (reported as a runtime error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn numeric(v: &Value, what: &str) -> Result<f64, EvalError> {
+    v.as_f64()
+        .ok_or_else(|| EvalError(format!("{what} is not numeric: {v}")))
+}
+
+/// Evaluates a binary operator.
+///
+/// Integer operands produce integer results for the arithmetic operators;
+/// mixing an integer with a float promotes to float, mirroring conventional
+/// numeric semantics. Comparison and logical operators produce booleans.
+/// Integer arithmetic is uniformly *wrapping* — including division and
+/// remainder, so `i64::MIN / -1` wraps instead of panicking (a panic inside
+/// a worker thread would poison a whole execution pool).
+///
+/// # Errors
+///
+/// Returns an error for non-numeric operands where numbers are required,
+/// and for integer division or remainder by zero.
+pub fn eval_binary(op: BinaryOp, lhs: Value, rhs: Value) -> Result<Value, EvalError> {
+    use BinaryOp::*;
+    match op {
+        And | Or => {
+            let a = lhs
+                .as_bool()
+                .ok_or_else(|| EvalError(format!("left operand of `{op}` is not boolean")))?;
+            let b = rhs
+                .as_bool()
+                .ok_or_else(|| EvalError(format!("right operand of `{op}` is not boolean")))?;
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let a = numeric(&lhs, "left comparison operand")?;
+            let b = numeric(&rhs, "right comparison operand")?;
+            let r = match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(r))
+        }
+        Add | Sub | Mul | Div | Rem | Min | Max | Pow => match (lhs, rhs) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                Add => Ok(Value::Int(a.wrapping_add(b))),
+                Sub => Ok(Value::Int(a.wrapping_sub(b))),
+                Mul => Ok(Value::Int(a.wrapping_mul(b))),
+                Div => {
+                    if b == 0 {
+                        Err(EvalError("integer division by zero".into()))
+                    } else {
+                        // Wrapping, like the other arms: `i64::MIN / -1`
+                        // must not panic the executing worker.
+                        Ok(Value::Int(a.wrapping_div(b)))
+                    }
+                }
+                Rem => {
+                    if b == 0 {
+                        Err(EvalError("integer remainder by zero".into()))
+                    } else {
+                        Ok(Value::Int(a.wrapping_rem(b)))
+                    }
+                }
+                Min => Ok(Value::Int(a.min(b))),
+                Max => Ok(Value::Int(a.max(b))),
+                Pow => {
+                    if (0..64).contains(&b) {
+                        // Wrapping, like the add/sub/mul arms above: integer
+                        // overflow must not panic in debug builds.
+                        Ok(Value::Int(a.wrapping_pow(b as u32)))
+                    } else {
+                        Ok(Value::Float((a as f64).powf(b as f64)))
+                    }
+                }
+                _ => unreachable!(),
+            },
+            (l, r) => {
+                let a = numeric(&l, "left arithmetic operand")?;
+                let b = numeric(&r, "right arithmetic operand")?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Rem => a % b,
+                    Min => a.min(b),
+                    Max => a.max(b),
+                    Pow => a.powf(b),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(v))
+            }
+        },
+    }
+}
+
+/// Evaluates a unary operator. Integer negation and absolute value wrap on
+/// `i64::MIN` instead of panicking.
+///
+/// # Errors
+///
+/// Returns an error for non-numeric (or, for `Not`, non-boolean) operands.
+pub fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, EvalError> {
+    use UnaryOp::*;
+    match op {
+        Not => Ok(Value::Bool(!v.as_bool().ok_or_else(|| {
+            EvalError(format!("operand of `not` is not boolean: {v}"))
+        })?)),
+        Neg => match v {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+            other => Ok(Value::Float(-numeric(&other, "operand of negation")?)),
+        },
+        Abs => match v {
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            other => Ok(Value::Float(numeric(&other, "operand of abs")?.abs())),
+        },
+        Floor => Ok(Value::Int(numeric(&v, "operand of floor")?.floor() as i64)),
+        Ceil => Ok(Value::Int(numeric(&v, "operand of ceil")?.ceil() as i64)),
+        Sqrt => Ok(Value::Float(numeric(&v, "operand of sqrt")?.sqrt())),
+        Exp => Ok(Value::Float(numeric(&v, "operand of exp")?.exp())),
+        Ln => Ok(Value::Float(numeric(&v, "operand of ln")?.ln())),
+        Sin => Ok(Value::Float(numeric(&v, "operand of sin")?.sin())),
+        Cos => Ok(Value::Float(numeric(&v, "operand of cos")?.cos())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cost classes, read-slot tables, and shared helpers.
+// ---------------------------------------------------------------------------
+
+/// The abstract cost class of one executed instruction, reported to
+/// [`ExecCtx::charge`] *before* the instruction's side effects run. The
+/// simulator maps these onto its §5.1 timing table (so which instruction
+/// belongs to which cost class is itself part of the shared semantics);
+/// the native engines ignore them (the default `charge` is a no-op that
+/// monomorphises away).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cost {
+    /// A binary ALU operation; `float` when either operand is a float.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Charged at floating-point rates when set.
+        float: bool,
+    },
+    /// A unary ALU operation; `float` when the operand is a float.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Charged at floating-point rates when set.
+        float: bool,
+    },
+    /// A register-to-register move.
+    Move,
+    /// An unconditional or conditional jump.
+    Control,
+    /// Issuing an array allocation request to the Array Manager.
+    ArrayAlloc,
+    /// Issuing an element load or store.
+    ArrayAccess,
+    /// A Range-Filter header consultation.
+    RangeFilter,
+    /// Spawning child instances.
+    Spawn,
+    /// Terminating the SP.
+    Return,
+    /// The firing rule found an operand absent: the instance blocks.
+    ContextSwitch,
+}
+
+/// Precomputed read-slot lists per `(template, pc)`: the firing-rule check
+/// runs for every executed instruction, and rebuilding the list (a heap
+/// allocation) each time is measurable across millions of instructions.
+/// Built once per (prepared) program and shared by every execution.
+pub type ReadSlots = Vec<Vec<Vec<SlotId>>>;
+
+/// Builds the [`ReadSlots`] table for a (partitioned) SP program.
+pub fn build_read_slots(program: &SpProgram) -> ReadSlots {
+    program
+        .templates()
+        .iter()
+        .map(|t| t.code.iter().map(|i| i.read_slots()).collect())
+        .collect()
+}
+
+/// Row-major element offset of `idx` in the array described by `header`,
+/// with the canonical out-of-bounds diagnostic shared by every engine.
+///
+/// # Errors
+///
+/// Returns the out-of-bounds message when any index lies outside the shape.
+pub fn element_offset(header: &ArrayHeader, idx: &[i64]) -> Result<usize, String> {
+    header.offset_of(idx).ok_or_else(|| {
+        format!(
+            "index {idx:?} out of bounds for {} array `{}`",
+            header.shape(),
+            header.name()
+        )
+    })
+}
+
+/// The Range-Filter bound rule (one semantics for every engine).
+///
+/// `default_v` is the source-level loop bound, `range` this PE's area of
+/// responsibility for the filtered dimension, `extent` the dimension's full
+/// extent, and `is_lo` selects the lower (`max`) or upper (`min`) filter.
+///
+/// The filter *partitions* the source iteration range across PEs — its
+/// union over all PEs must be exactly the source range, never a truncation
+/// of it. Interior responsibility edges clamp as in Figure 5; a PE whose
+/// responsibility touches the edge of the array keeps the original bound,
+/// so iterations outside the array (a program error) still execute — once,
+/// on the edge PE — and fault in the array access exactly like the
+/// sequential oracle. On a single PE the filter is the identity.
+pub fn range_filter_bound(default_v: i64, range: &DimRange, extent: i64, is_lo: bool) -> i64 {
+    if range.is_empty() {
+        // A PE with no responsibility runs no iterations: clamping an empty
+        // range yields lo > hi on this PE regardless of the defaults.
+        return if is_lo {
+            default_v.max(range.start)
+        } else {
+            default_v.min(range.end)
+        };
+    }
+    if is_lo {
+        if range.start == 0 {
+            default_v
+        } else {
+            default_v.max(range.start)
+        }
+    } else if range.end == extent - 1 {
+        default_v
+    } else {
+        default_v.min(range.end)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The two engine-facing traits.
+// ---------------------------------------------------------------------------
+
+/// What a split-phase element load produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Loaded {
+    /// The element was present; the value is delivered into the destination
+    /// slot immediately.
+    Ready(Value),
+    /// The element has not been written. The implementation has registered
+    /// a waiter/waker for the destination slot; the core clears the slot's
+    /// presence bit and the SP keeps running until the value is consumed.
+    Deferred,
+}
+
+/// I-structure access as seen by the instruction core: the abstraction over
+/// the simulator's per-PE [`pods_istructure::ArrayMemory`] (page cache,
+/// remote read/write messages, allocation broadcasts) and the pooled
+/// engines' process-wide [`pods_istructure::SharedArrayStore`].
+///
+/// All methods take `&mut self` because implementations update statistics,
+/// schedule events, or memoise directory lookups.
+pub trait ArrayOps {
+    /// Allocates an array and routes its [`Value::ArrayRef`] to `dst`. The
+    /// core has already validated the dimensions (non-empty extents).
+    /// Implementations choose the delivery mechanics: the pooled engines
+    /// set the slot synchronously, the simulator clears it and delivers the
+    /// reference asynchronously from the Array Manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-error message on allocation failure.
+    fn alloc_array(
+        &mut self,
+        dst: SlotId,
+        name: &str,
+        dims: &[usize],
+        distributed: bool,
+    ) -> Result<(), String>;
+
+    /// Runs `f` against the header of array `id` (shape and responsibility
+    /// lookups for offsets and Range Filters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-error message when the array is unknown here.
+    fn with_header<R>(
+        &mut self,
+        id: ArrayId,
+        f: impl FnOnce(&ArrayHeader) -> R,
+    ) -> Result<R, String>;
+
+    /// Issues the split-phase read of element `offset`. On
+    /// [`Loaded::Deferred`] the implementation must have registered a
+    /// waiter that will eventually deliver the value into `dst` of the
+    /// *current* instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-error message for invalid accesses.
+    fn load_element(&mut self, id: ArrayId, offset: usize, dst: SlotId) -> Result<Loaded, String>;
+
+    /// Writes element `offset`, re-activating (or buffering the wake-ups
+    /// of) any deferred readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-error message for single-assignment violations and
+    /// invalid accesses.
+    fn store_element(&mut self, id: ArrayId, offset: usize, value: Value) -> Result<(), String>;
+}
+
+/// The per-engine execution context: one SP instance's frame plus the
+/// engine's scheduling hooks. [`execute_instr`] and [`run_instance`] drive
+/// this trait; implementations add nothing semantic.
+pub trait ExecCtx: ArrayOps {
+    /// Current program counter of the instance.
+    fn pc(&self) -> usize;
+
+    /// Sets the program counter.
+    fn set_pc(&mut self, pc: usize);
+
+    /// The value of a frame slot, if its presence bit is set.
+    fn slot(&self, slot: SlotId) -> Option<Value>;
+
+    /// Writes a slot (sets the presence bit).
+    fn set_slot(&mut self, slot: SlotId, value: Value);
+
+    /// Clears a slot's presence bit.
+    fn clear_slot(&mut self, slot: SlotId);
+
+    /// The virtual PE this instance runs as (drives Range Filters and
+    /// single-owner allocation placement).
+    fn pe(&self) -> usize;
+
+    /// Cost-accounting hook, called once per executed instruction before
+    /// its side effects (and once per firing-rule block with
+    /// [`Cost::ContextSwitch`]). Default: free.
+    #[inline(always)]
+    fn charge(&mut self, cost: Cost) {
+        let _ = cost;
+    }
+
+    /// Polled between instructions; `true` aborts the run with
+    /// [`RunExit::Stopped`] (job failed elsewhere, pool teardown, ...).
+    #[inline(always)]
+    fn should_stop(&self) -> bool {
+        false
+    }
+
+    /// Spawns child instances of `target`. `args` are operands of the
+    /// *current* frame (resolve them with [`ExecCtx::operand`]; they are
+    /// passed unresolved so implementations can marshal into a reusable
+    /// scratch buffer). For `distributed` spawns one child runs per PE and
+    /// only the child on this instance's own PE carries `return_to`; the
+    /// core has already cleared the return slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime-error message on spawn failure.
+    fn spawn(
+        &mut self,
+        target: SpId,
+        args: &[Operand],
+        distributed: bool,
+        return_to: Option<SlotId>,
+    ) -> Result<(), String>;
+
+    /// Resolves an operand against the frame. Absent slots read as
+    /// [`Value::Unit`]; the firing rule makes that unobservable for slots
+    /// an instruction declares in [`Instr::read_slots`].
+    #[inline(always)]
+    fn operand(&self, op: &Operand) -> Value {
+        match op {
+            Operand::Slot(s) => self.slot(*s).unwrap_or(Value::Unit),
+            Operand::Int(v) => Value::Int(*v),
+            Operand::Float(v) => Value::Float(*v),
+            Operand::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The core interpreter.
+// ---------------------------------------------------------------------------
+
+/// What executing one instruction asks the driver loop to do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Advance to the next instruction.
+    Next,
+    /// Continue at the given program counter.
+    Jump(usize),
+    /// The SP terminated, optionally producing a return value.
+    Finished(Option<Value>),
+}
+
+/// Why [`run_instance`] stopped executing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunExit {
+    /// The SP terminated: an explicit `Return` (carrying its value) or the
+    /// program counter running past the end of the template (no value).
+    Finished(Option<Value>),
+    /// The firing rule found the given operand slot absent. The program
+    /// counter addresses the blocked (consuming) instruction — on every
+    /// engine, this is the pc deadlock diagnostics report. The engine
+    /// suspends the instance its own way and re-enters `run_instance` when
+    /// the slot arrives.
+    Blocked(SlotId),
+    /// [`ExecCtx::should_stop`] returned `true`; the engine abandons or
+    /// fails the instance.
+    Stopped,
+}
+
+fn expect_array(v: Value) -> Result<ArrayId, String> {
+    v.as_array()
+        .ok_or_else(|| format!("expected an array reference, found {v}"))
+}
+
+fn index_values<C: ExecCtx>(ctx: &C, indices: &[Operand]) -> Vec<i64> {
+    indices
+        .iter()
+        .map(|i| ctx.operand(i).as_i64().unwrap_or(-1))
+        .collect()
+}
+
+/// Executes one instruction against the context. This is the single
+/// implementation of SP instruction semantics shared by every engine; see
+/// the module docs for the rules it pins down.
+///
+/// # Errors
+///
+/// Returns the runtime-error message ending the job (arithmetic errors,
+/// invalid array accesses, single-assignment violations, non-boolean
+/// branches, ...).
+pub fn execute_instr<C: ExecCtx>(ctx: &mut C, instr: &Instr) -> Result<Step, String> {
+    match instr {
+        Instr::Binary { op, dst, lhs, rhs } => {
+            let a = ctx.operand(lhs);
+            let b = ctx.operand(rhs);
+            ctx.charge(Cost::Binary {
+                op: *op,
+                float: a.is_float() || b.is_float(),
+            });
+            let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
+            ctx.set_slot(*dst, v);
+            Ok(Step::Next)
+        }
+        Instr::Unary { op, dst, src } => {
+            let a = ctx.operand(src);
+            ctx.charge(Cost::Unary {
+                op: *op,
+                float: a.is_float(),
+            });
+            let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
+            ctx.set_slot(*dst, v);
+            Ok(Step::Next)
+        }
+        Instr::Move { dst, src } => {
+            let v = ctx.operand(src);
+            ctx.charge(Cost::Move);
+            ctx.set_slot(*dst, v);
+            Ok(Step::Next)
+        }
+        Instr::Jump { target } => {
+            ctx.charge(Cost::Control);
+            Ok(Step::Jump(*target))
+        }
+        Instr::BranchIfFalse { cond, target } => {
+            let c = ctx.operand(cond);
+            ctx.charge(Cost::Control);
+            // Numbers are truthy (non-zero), matching the oracle's
+            // conditions; values with no truth value are a runtime error,
+            // not a silent false edge.
+            let c = c
+                .as_bool()
+                .ok_or_else(|| format!("branch on a non-boolean value {c}"))?;
+            if c {
+                Ok(Step::Next)
+            } else {
+                Ok(Step::Jump(*target))
+            }
+        }
+        Instr::ArrayAlloc {
+            dst,
+            name,
+            dims,
+            distributed,
+        } => {
+            let dim_values: Vec<usize> = dims
+                .iter()
+                .map(|d| ctx.operand(d).as_i64().unwrap_or(0).max(0) as usize)
+                .collect();
+            if dim_values.is_empty() || dim_values.contains(&0) {
+                return Err(format!("array `{name}` allocated with a zero dimension"));
+            }
+            ctx.charge(Cost::ArrayAlloc);
+            ctx.alloc_array(*dst, name, &dim_values, *distributed)?;
+            Ok(Step::Next)
+        }
+        Instr::ArrayLoad {
+            dst,
+            array,
+            indices,
+        } => {
+            let id = expect_array(ctx.operand(array))?;
+            let idx = index_values(ctx, indices);
+            let offset = ctx.with_header(id, |h| element_offset(h, &idx))??;
+            ctx.charge(Cost::ArrayAccess);
+            match ctx.load_element(id, offset, *dst)? {
+                Loaded::Ready(v) => ctx.set_slot(*dst, v),
+                // Split-phase: clear the presence bit (so a stale value
+                // from a previous iteration is never consumed) and keep
+                // running; the firing rule of the consuming instruction
+                // blocks when it actually needs the value.
+                Loaded::Deferred => ctx.clear_slot(*dst),
+            }
+            Ok(Step::Next)
+        }
+        Instr::ArrayStore {
+            array,
+            indices,
+            value,
+        } => {
+            let id = expect_array(ctx.operand(array))?;
+            let idx = index_values(ctx, indices);
+            let v = ctx.operand(value);
+            let offset = ctx.with_header(id, |h| element_offset(h, &idx))??;
+            ctx.charge(Cost::ArrayAccess);
+            ctx.store_element(id, offset, v)?;
+            Ok(Step::Next)
+        }
+        Instr::Spawn {
+            target,
+            args,
+            distributed,
+            ret,
+        } => {
+            ctx.charge(Cost::Spawn);
+            let return_to = *ret;
+            if let Some(slot) = return_to {
+                // The return slot is cleared at issue time (split-phase call):
+                // the child's eventual return delivers into it.
+                ctx.clear_slot(slot);
+            }
+            ctx.spawn(*target, args, *distributed, return_to)?;
+            Ok(Step::Next)
+        }
+        Instr::RangeLo {
+            dst,
+            array,
+            dim,
+            default,
+            outer,
+        }
+        | Instr::RangeHi {
+            dst,
+            array,
+            dim,
+            default,
+            outer,
+        } => {
+            let is_lo = matches!(instr, Instr::RangeLo { .. });
+            let array_v = ctx.operand(array);
+            let default_v = ctx.operand(default).as_i64().unwrap_or(0);
+            let outer_v = outer.as_ref().map(|o| ctx.operand(o).as_i64().unwrap_or(0));
+            ctx.charge(Cost::RangeFilter);
+            let Some(id) = array_v.as_array() else {
+                return Err(format!("range filter on a non-array value {array_v}"));
+            };
+            let pe = PeId(ctx.pe());
+            let dim = *dim;
+            let value = ctx.with_header(id, |h| {
+                let range = h.responsibility(pe, dim, outer_v);
+                let extent = h.shape().dims().get(dim).copied().unwrap_or(1) as i64;
+                range_filter_bound(default_v, &range, extent, is_lo)
+            })?;
+            ctx.set_slot(*dst, Value::Int(value));
+            Ok(Step::Next)
+        }
+        Instr::Return { value } => {
+            let v = value.as_ref().map(|op| ctx.operand(op));
+            ctx.charge(Cost::Return);
+            Ok(Step::Finished(v))
+        }
+    }
+}
+
+/// Runs one SP instance until it terminates, blocks on an absent operand,
+/// or the context's stop signal fires. This is the shared driver loop:
+/// firing-rule check (against the precomputed `read_slots` table for the
+/// instance's template), then [`execute_instr`], then pc update.
+///
+/// # Errors
+///
+/// Propagates the first runtime-error message from [`execute_instr`].
+pub fn run_instance<C: ExecCtx>(
+    ctx: &mut C,
+    code: &[Instr],
+    read_slots: &[Vec<SlotId>],
+) -> Result<RunExit, String> {
+    loop {
+        if ctx.should_stop() {
+            return Ok(RunExit::Stopped);
+        }
+        let pc = ctx.pc();
+        let Some(instr) = code.get(pc) else {
+            return Ok(RunExit::Finished(None));
+        };
+        // Dataflow firing rule: every operand the instruction reads must be
+        // present; otherwise the instance blocks on the first missing slot.
+        if let Some(missing) = read_slots[pc]
+            .iter()
+            .copied()
+            .find(|s| ctx.slot(*s).is_none())
+        {
+            ctx.charge(Cost::ContextSwitch);
+            return Ok(RunExit::Blocked(missing));
+        }
+        match execute_instr(ctx, instr)? {
+            Step::Next => ctx.set_pc(pc + 1),
+            Step::Jump(target) => ctx.set_pc(target),
+            Step::Finished(v) => return Ok(RunExit::Finished(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pods_istructure::{ArrayShape, Partitioning};
+
+    /// A minimal in-memory engine: local single-store arrays, recorded
+    /// spawns and deferred waiters, direct slot delivery. Everything the
+    /// core needs and nothing scheduler-shaped — so each table case tests
+    /// the semantics once, directly, instead of only end-to-end.
+    struct TestCtx {
+        pc: usize,
+        slots: Vec<Option<Value>>,
+        pe: usize,
+        pes: usize,
+        arrays: Vec<(ArrayHeader, Vec<Option<Value>>)>,
+        /// Deferred waiters: (array, offset, dst).
+        waiters: Vec<(ArrayId, usize, SlotId)>,
+        /// Recorded spawns: (template, resolved args, pe, return slot).
+        spawns: Vec<(SpId, Vec<Value>, usize, Option<SlotId>)>,
+        costs: Vec<Cost>,
+        stop: bool,
+    }
+
+    impl TestCtx {
+        fn new(slots: usize) -> TestCtx {
+            TestCtx {
+                pc: 0,
+                slots: vec![None; slots],
+                pe: 0,
+                pes: 1,
+                arrays: Vec::new(),
+                waiters: Vec::new(),
+                spawns: Vec::new(),
+                costs: Vec::new(),
+                stop: false,
+            }
+        }
+
+        fn with_pes(mut self, pe: usize, pes: usize) -> TestCtx {
+            self.pe = pe;
+            self.pes = pes;
+            self
+        }
+
+        fn with_slot(mut self, slot: usize, v: Value) -> TestCtx {
+            self.slots[slot] = Some(v);
+            self
+        }
+
+        /// Allocates a test array directly and returns a ref to slot it in.
+        fn with_array(mut self, slot: usize, dims: &[usize], page: usize) -> TestCtx {
+            let shape = ArrayShape::new(dims.to_vec());
+            let part = Partitioning::new(shape.len(), page, self.pes);
+            let id = ArrayId(self.arrays.len());
+            let len = shape.len();
+            self.arrays
+                .push((ArrayHeader::new(id, "t", shape, part), vec![None; len]));
+            self.slots[slot] = Some(Value::ArrayRef(id));
+            self
+        }
+
+        fn write_cell(&mut self, array: usize, offset: usize, v: Value) {
+            self.arrays[array].1[offset] = Some(v);
+        }
+    }
+
+    impl ArrayOps for TestCtx {
+        fn alloc_array(
+            &mut self,
+            dst: SlotId,
+            name: &str,
+            dims: &[usize],
+            distributed: bool,
+        ) -> Result<(), String> {
+            let shape = ArrayShape::new(dims.to_vec());
+            let part = if distributed {
+                Partitioning::new(shape.len(), 8, self.pes)
+            } else {
+                Partitioning::single_owner(shape.len(), 8, self.pes, PeId(self.pe))
+            };
+            let id = ArrayId(self.arrays.len());
+            let len = shape.len();
+            self.arrays
+                .push((ArrayHeader::new(id, name, shape, part), vec![None; len]));
+            self.set_slot(dst, Value::ArrayRef(id));
+            Ok(())
+        }
+
+        fn with_header<R>(
+            &mut self,
+            id: ArrayId,
+            f: impl FnOnce(&ArrayHeader) -> R,
+        ) -> Result<R, String> {
+            let (header, _) = self
+                .arrays
+                .get(id.index())
+                .ok_or_else(|| format!("unknown array {id}"))?;
+            Ok(f(header))
+        }
+
+        fn load_element(
+            &mut self,
+            id: ArrayId,
+            offset: usize,
+            dst: SlotId,
+        ) -> Result<Loaded, String> {
+            match self.arrays[id.index()].1[offset] {
+                Some(v) => Ok(Loaded::Ready(v)),
+                None => {
+                    self.waiters.push((id, offset, dst));
+                    Ok(Loaded::Deferred)
+                }
+            }
+        }
+
+        fn store_element(
+            &mut self,
+            id: ArrayId,
+            offset: usize,
+            value: Value,
+        ) -> Result<(), String> {
+            let cell = &mut self.arrays[id.index()].1[offset];
+            if cell.is_some() {
+                return Err(format!("single-assignment violation on {id}[{offset}]"));
+            }
+            *cell = Some(value);
+            Ok(())
+        }
+    }
+
+    impl ExecCtx for TestCtx {
+        fn pc(&self) -> usize {
+            self.pc
+        }
+        fn set_pc(&mut self, pc: usize) {
+            self.pc = pc;
+        }
+        fn slot(&self, slot: SlotId) -> Option<Value> {
+            self.slots.get(slot.index()).copied().flatten()
+        }
+        fn set_slot(&mut self, slot: SlotId, value: Value) {
+            if slot.index() < self.slots.len() {
+                self.slots[slot.index()] = Some(value);
+            }
+        }
+        fn clear_slot(&mut self, slot: SlotId) {
+            if slot.index() < self.slots.len() {
+                self.slots[slot.index()] = None;
+            }
+        }
+        fn pe(&self) -> usize {
+            self.pe
+        }
+        fn charge(&mut self, cost: Cost) {
+            self.costs.push(cost);
+        }
+        fn should_stop(&self) -> bool {
+            self.stop
+        }
+        fn spawn(
+            &mut self,
+            target: SpId,
+            args: &[Operand],
+            distributed: bool,
+            return_to: Option<SlotId>,
+        ) -> Result<(), String> {
+            let resolved: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+            if distributed {
+                for q in 0..self.pes {
+                    let r = if q == self.pe { return_to } else { None };
+                    self.spawns.push((target, resolved.clone(), q, r));
+                }
+            } else {
+                self.spawns.push((target, resolved, self.pe, return_to));
+            }
+            Ok(())
+        }
+    }
+
+    fn s(i: usize) -> SlotId {
+        SlotId(i)
+    }
+    fn slot_op(i: usize) -> Operand {
+        Operand::Slot(SlotId(i))
+    }
+
+    /// One table case per `Instr` variant: the canonical success semantics.
+    #[test]
+    fn table_every_instr_variant_has_pinned_semantics() {
+        struct Case {
+            name: &'static str,
+            ctx: fn() -> TestCtx,
+            instr: fn() -> Instr,
+            check: fn(&str, Step, TestCtx),
+        }
+        let table: Vec<Case> = vec![
+            Case {
+                name: "binary-int-add",
+                ctx: || {
+                    TestCtx::new(3)
+                        .with_slot(0, Value::Int(2))
+                        .with_slot(1, Value::Int(3))
+                },
+                instr: || Instr::Binary {
+                    op: BinaryOp::Add,
+                    dst: s(2),
+                    lhs: slot_op(0),
+                    rhs: slot_op(1),
+                },
+                check: |n, step, ctx| {
+                    assert_eq!(step, Step::Next, "{n}");
+                    assert_eq!(ctx.slot(s(2)), Some(Value::Int(5)), "{n}");
+                    assert_eq!(
+                        ctx.costs,
+                        vec![Cost::Binary {
+                            op: BinaryOp::Add,
+                            float: false
+                        }],
+                        "{n}: int operands charge integer rates"
+                    );
+                },
+            },
+            Case {
+                name: "binary-mixed-promotes-and-charges-float",
+                ctx: || {
+                    TestCtx::new(3)
+                        .with_slot(0, Value::Int(2))
+                        .with_slot(1, Value::Float(0.5))
+                },
+                instr: || Instr::Binary {
+                    op: BinaryOp::Mul,
+                    dst: s(2),
+                    lhs: slot_op(0),
+                    rhs: slot_op(1),
+                },
+                check: |n, _, ctx| {
+                    assert_eq!(ctx.slot(s(2)), Some(Value::Float(1.0)), "{n}");
+                    assert_eq!(
+                        ctx.costs,
+                        vec![Cost::Binary {
+                            op: BinaryOp::Mul,
+                            float: true
+                        }],
+                        "{n}"
+                    );
+                },
+            },
+            Case {
+                name: "unary",
+                ctx: || TestCtx::new(2).with_slot(0, Value::Int(-7)),
+                instr: || Instr::Unary {
+                    op: UnaryOp::Abs,
+                    dst: s(1),
+                    src: slot_op(0),
+                },
+                check: |n, _, ctx| assert_eq!(ctx.slot(s(1)), Some(Value::Int(7)), "{n}"),
+            },
+            Case {
+                name: "move",
+                ctx: || TestCtx::new(2),
+                instr: || Instr::Move {
+                    dst: s(1),
+                    src: Operand::Float(2.5),
+                },
+                check: |n, _, ctx| assert_eq!(ctx.slot(s(1)), Some(Value::Float(2.5)), "{n}"),
+            },
+            Case {
+                name: "jump",
+                ctx: || TestCtx::new(1),
+                instr: || Instr::Jump { target: 7 },
+                check: |n, step, _| assert_eq!(step, Step::Jump(7), "{n}"),
+            },
+            Case {
+                name: "branch-true-falls-through",
+                ctx: || TestCtx::new(1).with_slot(0, Value::Bool(true)),
+                instr: || Instr::BranchIfFalse {
+                    cond: slot_op(0),
+                    target: 9,
+                },
+                check: |n, step, _| assert_eq!(step, Step::Next, "{n}"),
+            },
+            Case {
+                name: "branch-nonzero-number-is-truthy",
+                ctx: || TestCtx::new(1).with_slot(0, Value::Int(-3)),
+                instr: || Instr::BranchIfFalse {
+                    cond: slot_op(0),
+                    target: 9,
+                },
+                check: |n, step, _| assert_eq!(step, Step::Next, "{n}"),
+            },
+            Case {
+                name: "branch-zero-takes-the-false-edge",
+                ctx: || TestCtx::new(1).with_slot(0, Value::Float(0.0)),
+                instr: || Instr::BranchIfFalse {
+                    cond: slot_op(0),
+                    target: 9,
+                },
+                check: |n, step, _| assert_eq!(step, Step::Jump(9), "{n}"),
+            },
+            Case {
+                name: "array-alloc-sets-ref",
+                ctx: || TestCtx::new(2).with_slot(0, Value::Int(6)),
+                instr: || Instr::ArrayAlloc {
+                    dst: s(1),
+                    name: "a".into(),
+                    dims: vec![slot_op(0), Operand::Int(2)],
+                    distributed: true,
+                },
+                check: |n, _, ctx| {
+                    assert_eq!(ctx.slot(s(1)), Some(Value::ArrayRef(ArrayId(0))), "{n}");
+                    assert_eq!(ctx.arrays[0].0.shape().dims(), &[6, 2], "{n}");
+                },
+            },
+            Case {
+                name: "array-load-present-delivers-now",
+                ctx: || {
+                    let mut c = TestCtx::new(3).with_array(0, &[4], 8);
+                    c.write_cell(0, 2, Value::Int(42));
+                    c.slots[1] = Some(Value::Int(2));
+                    c
+                },
+                instr: || Instr::ArrayLoad {
+                    dst: s(2),
+                    array: slot_op(0),
+                    indices: vec![slot_op(1)],
+                },
+                check: |n, step, ctx| {
+                    assert_eq!(step, Step::Next, "{n}");
+                    assert_eq!(ctx.slot(s(2)), Some(Value::Int(42)), "{n}");
+                    assert!(ctx.waiters.is_empty(), "{n}");
+                },
+            },
+            Case {
+                name: "array-load-deferred-is-split-phase",
+                ctx: || {
+                    // The destination holds a stale value from a previous
+                    // iteration; issuing the load must clear it and the SP
+                    // must keep running (Step::Next, not a suspension).
+                    TestCtx::new(2)
+                        .with_array(0, &[4], 8)
+                        .with_slot(1, Value::Int(99))
+                },
+                instr: || Instr::ArrayLoad {
+                    dst: s(1),
+                    array: slot_op(0),
+                    indices: vec![Operand::Int(3)],
+                },
+                check: |n, step, ctx| {
+                    assert_eq!(step, Step::Next, "{n}: split-phase loads keep running");
+                    assert_eq!(ctx.slot(s(1)), None, "{n}: presence bit cleared at issue");
+                    assert_eq!(ctx.waiters, vec![(ArrayId(0), 3, s(1))], "{n}");
+                },
+            },
+            Case {
+                name: "array-store",
+                ctx: || TestCtx::new(2).with_array(0, &[4], 8),
+                instr: || Instr::ArrayStore {
+                    array: slot_op(0),
+                    indices: vec![Operand::Int(1)],
+                    value: Operand::Int(5),
+                },
+                check: |n, _, ctx| assert_eq!(ctx.arrays[0].1[1], Some(Value::Int(5)), "{n}"),
+            },
+            Case {
+                name: "spawn-clears-return-slot-at-issue",
+                ctx: || {
+                    TestCtx::new(2)
+                        .with_slot(0, Value::Int(4))
+                        .with_slot(1, Value::Int(9))
+                },
+                instr: || Instr::Spawn {
+                    target: SpId(3),
+                    args: vec![slot_op(0)],
+                    distributed: false,
+                    ret: Some(s(1)),
+                },
+                check: |n, _, ctx| {
+                    assert_eq!(ctx.slot(s(1)), None, "{n}: call is split-phase");
+                    assert_eq!(
+                        ctx.spawns,
+                        vec![(SpId(3), vec![Value::Int(4)], 0, Some(s(1)))],
+                        "{n}"
+                    );
+                },
+            },
+            Case {
+                name: "spawn-distributed-returns-only-to-own-pe",
+                ctx: || TestCtx::new(2).with_pes(1, 3).with_slot(0, Value::Int(4)),
+                instr: || Instr::Spawn {
+                    target: SpId(2),
+                    args: vec![slot_op(0)],
+                    distributed: true,
+                    ret: Some(s(1)),
+                },
+                check: |n, _, ctx| {
+                    let rets: Vec<Option<SlotId>> =
+                        ctx.spawns.iter().map(|(_, _, _, r)| *r).collect();
+                    assert_eq!(rets, vec![None, Some(s(1)), None], "{n}");
+                },
+            },
+            Case {
+                name: "range-lo-clamps-interior-edge",
+                // 2 PEs over 8 elements (page 4): PE1 owns rows 4..7, an
+                // interior lower edge, so lo = max(default, 4).
+                ctx: || TestCtx::new(2).with_pes(1, 2).with_array(0, &[8], 4),
+                instr: || Instr::RangeLo {
+                    dst: s(1),
+                    array: slot_op(0),
+                    dim: 0,
+                    default: Operand::Int(0),
+                    outer: None,
+                },
+                check: |n, _, ctx| assert_eq!(ctx.slot(s(1)), Some(Value::Int(4)), "{n}"),
+            },
+            Case {
+                name: "range-hi-clamps-interior-edge",
+                ctx: || TestCtx::new(2).with_pes(0, 2).with_array(0, &[8], 4),
+                instr: || Instr::RangeHi {
+                    dst: s(1),
+                    array: slot_op(0),
+                    dim: 0,
+                    default: Operand::Int(7),
+                    outer: None,
+                },
+                check: |n, _, ctx| assert_eq!(ctx.slot(s(1)), Some(Value::Int(3)), "{n}"),
+            },
+            Case {
+                name: "range-filter-keeps-out-of-range-bounds-on-edge-pes",
+                // The PE owning the array edge keeps the source bound, so
+                // out-of-range iterations execute (and fault) exactly like
+                // the sequential oracle instead of being silently dropped.
+                ctx: || TestCtx::new(3).with_pes(0, 2).with_array(0, &[8], 4),
+                instr: || Instr::RangeLo {
+                    dst: s(1),
+                    array: slot_op(0),
+                    dim: 0,
+                    default: Operand::Int(-2),
+                    outer: None,
+                },
+                check: |n, _, ctx| {
+                    assert_eq!(
+                        ctx.slot(s(1)),
+                        Some(Value::Int(-2)),
+                        "{n}: PE0 owns row 0 and must keep the negative bound"
+                    )
+                },
+            },
+            Case {
+                name: "range-filter-inner-dim-uses-outer-row",
+                // 2 PEs over a 3x8 matrix with 4-element pages: PE0 owns
+                // row 0 plus the first half of row 1 (cols 0..3).
+                ctx: || {
+                    TestCtx::new(3)
+                        .with_pes(0, 2)
+                        .with_array(0, &[3, 8], 4)
+                        .with_slot(1, Value::Int(1))
+                },
+                instr: || Instr::RangeHi {
+                    dst: s(2),
+                    array: slot_op(0),
+                    dim: 1,
+                    default: Operand::Int(7),
+                    outer: Some(slot_op(1)),
+                },
+                check: |n, _, ctx| assert_eq!(ctx.slot(s(2)), Some(Value::Int(3)), "{n}"),
+            },
+            Case {
+                name: "range-filter-invalid-outer-row-lands-on-one-edge-pe",
+                // Row 9 of a 3x8 matrix does not exist: its inner iteration
+                // space is assigned whole to the PE owning the nearest
+                // array edge (here PE1, owner of the last element), which
+                // keeps the source bound so the invalid accesses execute
+                // and fault like the oracle; every other PE gets nothing.
+                ctx: || {
+                    TestCtx::new(3)
+                        .with_pes(1, 2)
+                        .with_array(0, &[3, 8], 4)
+                        .with_slot(1, Value::Int(9))
+                },
+                instr: || Instr::RangeHi {
+                    dst: s(2),
+                    array: slot_op(0),
+                    dim: 1,
+                    default: Operand::Int(7),
+                    outer: Some(slot_op(1)),
+                },
+                check: |n, _, ctx| {
+                    assert_eq!(
+                        ctx.slot(s(2)),
+                        Some(Value::Int(7)),
+                        "{n}: the edge PE keeps the source bound"
+                    )
+                },
+            },
+            Case {
+                name: "return-with-value",
+                ctx: || TestCtx::new(1).with_slot(0, Value::Int(11)),
+                instr: || Instr::Return {
+                    value: Some(slot_op(0)),
+                },
+                check: |n, step, _| assert_eq!(step, Step::Finished(Some(Value::Int(11))), "{n}"),
+            },
+            Case {
+                name: "return-without-value",
+                ctx: || TestCtx::new(1),
+                instr: || Instr::Return { value: None },
+                check: |n, step, _| assert_eq!(step, Step::Finished(None), "{n}"),
+            },
+        ];
+        for case in table {
+            let mut ctx = (case.ctx)();
+            let step = execute_instr(&mut ctx, &(case.instr)())
+                .unwrap_or_else(|e| panic!("{}: unexpected error {e}", case.name));
+            (case.check)(case.name, step, ctx);
+        }
+    }
+
+    /// One table case per pinned *error* rule.
+    #[test]
+    fn table_error_rules_are_pinned() {
+        struct Case {
+            name: &'static str,
+            ctx: fn() -> TestCtx,
+            instr: fn() -> Instr,
+            msg: &'static str,
+        }
+        let table: Vec<Case> = vec![
+            Case {
+                name: "division-by-zero",
+                ctx: || TestCtx::new(1),
+                instr: || Instr::Binary {
+                    op: BinaryOp::Div,
+                    dst: s(0),
+                    lhs: Operand::Int(1),
+                    rhs: Operand::Int(0),
+                },
+                msg: "division by zero",
+            },
+            Case {
+                name: "branch-on-non-boolean",
+                ctx: || TestCtx::new(1).with_array(0, &[2], 8),
+                instr: || Instr::BranchIfFalse {
+                    cond: slot_op(0),
+                    target: 0,
+                },
+                msg: "non-boolean",
+            },
+            Case {
+                name: "zero-dimension-alloc",
+                ctx: || TestCtx::new(1),
+                instr: || Instr::ArrayAlloc {
+                    dst: s(0),
+                    name: "z".into(),
+                    dims: vec![Operand::Int(0)],
+                    distributed: false,
+                },
+                msg: "zero dimension",
+            },
+            Case {
+                name: "negative-dimension-alloc",
+                ctx: || TestCtx::new(1),
+                instr: || Instr::ArrayAlloc {
+                    dst: s(0),
+                    name: "z".into(),
+                    dims: vec![Operand::Int(-3)],
+                    distributed: false,
+                },
+                msg: "zero dimension",
+            },
+            Case {
+                name: "load-out-of-bounds",
+                ctx: || TestCtx::new(2).with_array(0, &[4], 8),
+                instr: || Instr::ArrayLoad {
+                    dst: s(1),
+                    array: slot_op(0),
+                    indices: vec![Operand::Int(9)],
+                },
+                msg: "out of bounds",
+            },
+            Case {
+                name: "non-integer-index-coerces-to-out-of-bounds",
+                ctx: || {
+                    TestCtx::new(2)
+                        .with_array(0, &[4], 8)
+                        .with_slot(1, Value::Unit)
+                },
+                instr: || Instr::ArrayLoad {
+                    dst: s(1),
+                    array: slot_op(0),
+                    indices: vec![slot_op(1)],
+                },
+                msg: "out of bounds",
+            },
+            Case {
+                name: "store-single-assignment",
+                ctx: || {
+                    let mut c = TestCtx::new(1).with_array(0, &[4], 8);
+                    c.write_cell(0, 1, Value::Int(1));
+                    c
+                },
+                instr: || Instr::ArrayStore {
+                    array: slot_op(0),
+                    indices: vec![Operand::Int(1)],
+                    value: Operand::Int(2),
+                },
+                msg: "single-assignment",
+            },
+            Case {
+                name: "load-from-non-array",
+                ctx: || TestCtx::new(2).with_slot(0, Value::Int(3)),
+                instr: || Instr::ArrayLoad {
+                    dst: s(1),
+                    array: slot_op(0),
+                    indices: vec![Operand::Int(0)],
+                },
+                msg: "expected an array reference",
+            },
+            Case {
+                name: "range-filter-on-non-array",
+                ctx: || TestCtx::new(2).with_slot(0, Value::Int(3)),
+                instr: || Instr::RangeLo {
+                    dst: s(1),
+                    array: slot_op(0),
+                    dim: 0,
+                    default: Operand::Int(0),
+                    outer: None,
+                },
+                msg: "range filter on a non-array value",
+            },
+        ];
+        for case in table {
+            let mut ctx = (case.ctx)();
+            let err = execute_instr(&mut ctx, &(case.instr)())
+                .expect_err(&format!("{}: expected an error", case.name));
+            assert!(
+                err.contains(case.msg),
+                "{}: error `{err}` does not mention `{}`",
+                case.name,
+                case.msg
+            );
+        }
+    }
+
+    #[test]
+    fn range_filter_is_identity_on_a_single_pe() {
+        // One PE owns the whole dimension — both edges — so the filter
+        // passes any source bound through unchanged, matching the
+        // sequential oracle by construction.
+        let shape = ArrayShape::new(vec![8]);
+        let part = Partitioning::new(8, 4, 1);
+        let h = ArrayHeader::new(ArrayId(0), "t", shape, part);
+        let range = h.responsibility(PeId(0), 0, None);
+        for bound in [-5i64, 0, 3, 7, 12] {
+            assert_eq!(range_filter_bound(bound, &range, 8, true), bound);
+            assert_eq!(range_filter_bound(bound, &range, 8, false), bound);
+        }
+    }
+
+    #[test]
+    fn range_filter_partitions_the_source_range_across_pes() {
+        // Whatever the source range, the union of per-PE filtered ranges
+        // must be exactly the source range (no truncation, no overlap).
+        let pes = 3usize;
+        let n = 10usize;
+        let shape = ArrayShape::new(vec![n]);
+        let part = Partitioning::new(n, 2, pes);
+        let h = ArrayHeader::new(ArrayId(0), "t", shape, part);
+        for (lo, hi) in [(0i64, 9i64), (-3, 4), (2, 13), (-2, 12), (3, 3)] {
+            let mut covered = std::collections::HashMap::new();
+            for pe in 0..pes {
+                let range = h.responsibility(PeId(pe), 0, None);
+                let flo = range_filter_bound(lo, &range, n as i64, true);
+                let fhi = range_filter_bound(hi, &range, n as i64, false);
+                for i in flo..=fhi {
+                    *covered.entry(i).or_insert(0usize) += 1;
+                }
+            }
+            for i in lo..=hi {
+                assert_eq!(
+                    covered.get(&i).copied().unwrap_or(0),
+                    1,
+                    "iteration {i} of source range {lo}..={hi} not covered exactly once"
+                );
+            }
+            assert_eq!(
+                covered.len(),
+                (hi - lo + 1) as usize,
+                "filtered ranges leaked outside the source range {lo}..={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_instance_blocks_at_the_consuming_instruction() {
+        // load (deferred, split-phase) → binary consuming the slot: the
+        // driver must execute *past* the load and block at the consumer,
+        // reporting the consumer's pc — the shared deadlock-diagnostic rule.
+        let code = vec![
+            Instr::ArrayLoad {
+                dst: s(1),
+                array: slot_op(0),
+                indices: vec![Operand::Int(0)],
+            },
+            Instr::Move {
+                dst: s(3),
+                src: Operand::Int(1),
+            },
+            Instr::Binary {
+                op: BinaryOp::Add,
+                dst: s(2),
+                lhs: slot_op(1),
+                rhs: slot_op(3),
+            },
+        ];
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let mut ctx = TestCtx::new(4).with_array(0, &[4], 8);
+        let exit = run_instance(&mut ctx, &code, &read_slots).unwrap();
+        assert_eq!(exit, RunExit::Blocked(s(1)));
+        assert_eq!(ctx.pc, 2, "blocked at the consumer, past the issued load");
+        assert_eq!(ctx.waiters.len(), 1, "the load registered its waiter");
+        assert!(
+            ctx.costs.contains(&Cost::ContextSwitch),
+            "blocking charges a context switch"
+        );
+
+        // Delivering the value and re-entering finishes the instance.
+        ctx.set_slot(s(1), Value::Int(41));
+        let exit = run_instance(&mut ctx, &code, &read_slots).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        assert_eq!(ctx.slot(s(2)), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn run_instance_honours_stop_and_end_of_code() {
+        let code = vec![Instr::Move {
+            dst: s(0),
+            src: Operand::Int(1),
+        }];
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let mut ctx = TestCtx::new(1);
+        ctx.stop = true;
+        assert_eq!(
+            run_instance(&mut ctx, &code, &read_slots).unwrap(),
+            RunExit::Stopped
+        );
+        ctx.stop = false;
+        assert_eq!(
+            run_instance(&mut ctx, &code, &read_slots).unwrap(),
+            RunExit::Finished(None),
+            "running off the end finishes with no value"
+        );
+    }
+
+    #[test]
+    fn wrapping_arithmetic_never_panics() {
+        assert_eq!(
+            eval_binary(BinaryOp::Div, Value::Int(i64::MIN), Value::Int(-1)).unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Rem, Value::Int(i64::MIN), Value::Int(-1)).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Neg, Value::Int(i64::MIN)).unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Abs, Value::Int(i64::MIN)).unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn eval_smoke_matches_conventional_semantics() {
+        assert_eq!(
+            eval_binary(BinaryOp::Add, Value::Int(2), Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Add, Value::Int(2), Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Pow, Value::Int(2), Value::Int(10)).unwrap(),
+            Value::Int(1024)
+        );
+        assert!(eval_binary(BinaryOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        let v = eval_binary(BinaryOp::Div, Value::Float(1.0), Value::Float(0.0)).unwrap();
+        assert!(matches!(v, Value::Float(x) if x.is_infinite()));
+        assert_eq!(
+            eval_binary(BinaryOp::Or, Value::Int(1), Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Floor, Value::Float(2.7)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_unary(UnaryOp::Sqrt, Value::Int(9)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(eval_unary(UnaryOp::Sqrt, Value::Unit).is_err());
+        let arr = Value::ArrayRef(ArrayId(0));
+        assert!(eval_binary(BinaryOp::Add, arr, Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn build_read_slots_matches_per_instruction_lists() {
+        let hir = pods_idlang::compile(
+            "def main(n) { a = array(n); for i = 0 to n - 1 { a[i] = i; } return a; }",
+        )
+        .unwrap();
+        let program = crate::translate(&hir).unwrap();
+        let table = build_read_slots(&program);
+        assert_eq!(table.len(), program.len());
+        for (t, template) in program.templates().iter().enumerate() {
+            assert_eq!(table[t].len(), template.code.len());
+            for (pc, instr) in template.code.iter().enumerate() {
+                assert_eq!(table[t][pc], instr.read_slots());
+            }
+        }
+    }
+}

@@ -8,9 +8,16 @@
 //!
 //! * the SP instruction set ([`Instr`], [`Operand`], [`SlotId`]),
 //! * SP templates and programs ([`SpTemplate`], [`SpProgram`]), including the
-//!   loop metadata the partitioner uses to insert Range Filters, and
+//!   loop metadata the partitioner uses to insert Range Filters,
 //! * the translator from the `idlang` HIR to SP templates ([`translate()`]),
-//!   which makes each function and each loop-nest level a separate SP.
+//!   which makes each function and each loop-nest level a separate SP, and
+//! * the shared instruction-execution core ([`exec`]): the single audited
+//!   implementation of SP semantics (operand coercion, the firing rule,
+//!   split-phase loads, Range-Filter clamping), generic over a suspension
+//!   strategy ([`exec::ExecCtx`]) and an I-structure access strategy
+//!   ([`exec::ArrayOps`]) so every engine — the machine simulator, the
+//!   native thread pool, the async cooperative executor — executes the
+//!   *same* semantics and differs only in scheduling mechanics.
 //!
 //! # Example
 //!
@@ -26,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod instr;
 pub mod template;
 pub mod translate;

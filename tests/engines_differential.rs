@@ -35,6 +35,21 @@ fn values_close(a: f64, b: f64) -> bool {
     (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan())
 }
 
+/// The engines under differential test. By default every registered engine
+/// is swept; setting `PODS_ENGINE` restricts the sweep to that one engine
+/// (still checked against the sequential oracle), so CI can re-run the full
+/// workload matrix focused on each pooled scheduler in turn:
+/// `PODS_ENGINE=native cargo test --test engines_differential`.
+fn engines_under_test() -> Vec<EngineKind> {
+    match std::env::var("PODS_ENGINE") {
+        Ok(name) => {
+            let kind: EngineKind = name.parse().unwrap_or_else(|e| panic!("PODS_ENGINE: {e}"));
+            vec![kind]
+        }
+        Err(_) => EngineKind::ALL.to_vec(),
+    }
+}
+
 /// Runs one workload through every engine on several machine sizes and
 /// checks full agreement with the sequential oracle.
 fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[usize]) {
@@ -43,7 +58,7 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
         .run(&program, args)
         .unwrap_or_else(|e| panic!("{name}: oracle run failed: {e}"));
 
-    for kind in EngineKind::ALL {
+    for kind in engines_under_test() {
         let engine = kind.name();
         // One runtime per (engine, machine size): the native pool / async
         // executor is reused across every workload size swept below. Both

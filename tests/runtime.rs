@@ -455,6 +455,97 @@ fn prepared_cache_evicts_least_recently_used() {
 }
 
 #[test]
+fn prepared_cache_capacity_zero_never_caches_and_handles_stay_valid() {
+    // The benchmark-control configuration: every raw submission re-prepares
+    // (no cache entry is ever created), including under `run_many`, yet
+    // results stay correct and explicitly prepared handles keep working.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(12)]);
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .prepared_cache_capacity(0)
+        .build();
+    let args: &[Value] = &[Value::Int(12)];
+    let results = runtime.run_many(&[(&program, args), (&program, args), (&program, args)]);
+    for (i, result) in results.iter().enumerate() {
+        let outcome = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("uncached run_many job {i} failed: {e}"));
+        assert_matches_oracle(&format!("uncached run_many job {i}"), outcome, &oracle);
+    }
+    assert_eq!(
+        runtime.prepared_cache_size(),
+        0,
+        "capacity 0 must never retain a preparation"
+    );
+    // Explicit prepares bypass the cache but their handles are fully
+    // functional — twice over, and they are never retained either.
+    let handle = runtime.prepare(&program);
+    assert_eq!(runtime.prepared_cache_size(), 0);
+    for _ in 0..2 {
+        let outcome = runtime.run(&handle, &[Value::Int(12)]).unwrap();
+        assert_matches_oracle("uncached prepared handle", &outcome, &oracle);
+    }
+}
+
+#[test]
+fn capacity_one_cache_thrashes_correctly_and_evicted_handles_stay_valid() {
+    // Capacity-1 eviction under `run_many` with alternating programs: the
+    // single slot thrashes (re-prepare per alternation — the documented
+    // cost of an undersized cache), every job still computes the right
+    // result, the survivor is the most recently used program, and a handle
+    // whose cache entry was evicted keeps running (no stale state).
+    let a = pods::compile("def main(n) { return n + 1; }").unwrap();
+    let b = pods::compile("def main(n) { return n * 2; }").unwrap();
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .prepared_cache_capacity(1)
+        .build();
+    let pa = runtime.prepare(&a);
+    assert_eq!(runtime.prepared_cache_size(), 1);
+
+    let args: &[Value] = &[Value::Int(10)];
+    let results = runtime.run_many(&[(&a, args), (&b, args), (&a, args), (&b, args)]);
+    let values: Vec<_> = results
+        .into_iter()
+        .map(|r| r.unwrap().return_value)
+        .collect();
+    assert_eq!(
+        values,
+        vec![
+            Some(Value::Int(11)),
+            Some(Value::Int(20)),
+            Some(Value::Int(11)),
+            Some(Value::Int(20)),
+        ]
+    );
+    assert_eq!(
+        runtime.prepared_cache_size(),
+        1,
+        "the cache never exceeds its capacity"
+    );
+
+    // Eviction order: B was submitted last, so B survived. Preparing B is
+    // a cache hit (shared Arc); preparing A must rebuild.
+    let pb1 = runtime.prepare(&b);
+    let pb2 = runtime.prepare(&b);
+    assert!(
+        pb1.same_preparation(&pb2),
+        "most recently used program must still be cached"
+    );
+    let pa2 = runtime.prepare(&a);
+    assert!(
+        !pa.same_preparation(&pa2),
+        "A's cache entry was evicted, so preparing A again rebuilds"
+    );
+    // The evicted handle itself is untouched by eviction.
+    assert_eq!(
+        runtime.run(&pa, &[Value::Int(5)]).unwrap().return_value,
+        Some(Value::Int(6))
+    );
+}
+
+#[test]
 fn huge_delivery_batches_never_strand_parked_instances() {
     // A batch size far larger than any workload's wake-up count means the
     // cap alone never forces a flush — only the task-boundary flushes keep
