@@ -19,7 +19,18 @@
 //!   scheduling (native) vs futures-style task suspension (async), with
 //!   each run's suspension/resumption/steal counters recorded so the
 //!   scheduling overhead the paper's evaluation is about is visible even
-//!   where a single-core host hides the wall-clock difference.
+//!   where a single-core host hides the wall-clock difference;
+//! * `grain_size` — warm native runs of fill and gather at small sizes
+//!   (n = 8 .. 64) sweeping the chunk grain (1, 2, 8, auto): the
+//!   per-instance spawn/park overhead that grain-1 execution pays per
+//!   inner iteration is paid once per chunk instead, with the measured
+//!   instance counts recorded next to the wall-clock. Gather's producer
+//!   loop has no eligible chunk site, so it doubles as the no-regression
+//!   control.
+//!
+//! Setting `PODS_CHUNK` (a grain size or `auto`) applies that chunk
+//! policy to every non-grain group, so a CI smoke run can execute the
+//! whole bench under a chunked configuration.
 //!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! snapshot to `BENCH_engines.json` at the repository root (override with
@@ -32,7 +43,7 @@
 //! with N up to the host's core count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pods::{EngineKind, EngineStats, RunOptions, Runtime, Value};
+use pods::{ChunkPolicy, EngineKind, EngineStats, RunOptions, Runtime, Value};
 
 /// A read-heavy gather with `k` split-phase probe calls: every probe
 /// instance parks on an unwritten element, then the producer loop's writes
@@ -51,6 +62,20 @@ fn gather_source(k: usize) -> String {
     )
 }
 
+/// A fine-grained fill: `n` rows of just two elements, so each spawned
+/// row instance does almost no work and the per-instance overhead (spawn,
+/// frame, scheduling) dominates at grain 1 — the scenario the chunk
+/// transform exists for. The square `pods_workloads::FILL` hides the
+/// effect behind its `n`-iteration row bodies.
+fn fine_fill_source() -> String {
+    "def main(n) {
+        a = matrix(n, 2);
+        for i = 0 to n - 1 { for j = 0 to 1 { a[i, j] = i * 3 + j; } }
+        return a;
+    }"
+    .to_string()
+}
+
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const ENGINES: [&str; 2] = ["sim", "native"];
 
@@ -58,6 +83,11 @@ fn bench_engines(c: &mut Criterion) {
     let host_parallelism = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    // PODS_CHUNK sweeps every non-grain group under one chunk policy (the
+    // grain_size group below sweeps grains itself and ignores this).
+    let env_chunk: ChunkPolicy = std::env::var("PODS_CHUNK")
+        .map(|s| s.parse().expect("PODS_CHUNK"))
+        .unwrap_or(ChunkPolicy::Fixed(1));
     let mut rows = String::new();
 
     for (workload, source, n) in [
@@ -76,9 +106,11 @@ fn bench_engines(c: &mut Criterion) {
                     BenchmarkId::new(engine, workers),
                     &workers,
                     |b, &workers| {
+                        let mut opts = RunOptions::with_pes(workers);
+                        opts.partition.chunk = env_chunk;
                         b.iter(|| {
                             program
-                                .run_on(engine, &[Value::Int(n)], &RunOptions::with_pes(workers))
+                                .run_on(engine, &[Value::Int(n)], &opts)
                                 .expect("bench run")
                         });
                         mean_us = b.mean_ns / 1e3;
@@ -115,6 +147,7 @@ fn bench_engines(c: &mut Criterion) {
                     "warm-runtime" => {
                         let runtime = Runtime::builder(EngineKind::Native)
                             .workers(workers)
+                            .chunk_policy(env_chunk)
                             .build();
                         b.iter(|| {
                             for _ in 0..REUSE_RUNS {
@@ -123,7 +156,8 @@ fn bench_engines(c: &mut Criterion) {
                         });
                     }
                     _ => {
-                        let opts = RunOptions::with_pes(workers);
+                        let mut opts = RunOptions::with_pes(workers);
+                        opts.partition.chunk = env_chunk;
                         b.iter(|| {
                             for _ in 0..REUSE_RUNS {
                                 program
@@ -167,6 +201,7 @@ fn bench_engines(c: &mut Criterion) {
                         "prepared-handle" => {
                             let runtime = Runtime::builder(EngineKind::Native)
                                 .workers(workers)
+                                .chunk_policy(env_chunk)
                                 .build();
                             let prepared = runtime.prepare(&program);
                             b.iter(|| {
@@ -179,6 +214,7 @@ fn bench_engines(c: &mut Criterion) {
                             let runtime = Runtime::builder(EngineKind::Native)
                                 .workers(workers)
                                 .prepared_cache_capacity(0)
+                                .chunk_policy(env_chunk)
                                 .build();
                             b.iter(|| {
                                 for _ in 0..PREP_RUNS {
@@ -213,6 +249,7 @@ fn bench_engines(c: &mut Criterion) {
             let runtime = Runtime::builder(EngineKind::Native)
                 .workers(batch_workers)
                 .delivery_batch(batch)
+                .chunk_policy(env_chunk)
                 .build();
             let prepared = runtime.prepare(&program);
             let mut mean_us = 0.0;
@@ -255,7 +292,10 @@ fn bench_engines(c: &mut Criterion) {
         let program = pods::compile(&source).expect("workload compiles");
         let mut group = c.benchmark_group(format!("async_vs_native_{workload}_{n}"));
         for kind in [EngineKind::Native, EngineKind::AsyncCoop] {
-            let runtime = Runtime::builder(kind).workers(reuse_workers).build();
+            let runtime = Runtime::builder(kind)
+                .workers(reuse_workers)
+                .chunk_policy(env_chunk)
+                .build();
             let prepared = runtime.prepare(&program);
             let mut mean_us = 0.0;
             group.bench_with_input(
@@ -287,6 +327,68 @@ fn bench_engines(c: &mut Criterion) {
                  \"suspensions\": {suspensions}, \"resumptions\": {resumptions}, \
                  \"steals\": {steals}}}",
                 kind.name()
+            ));
+        }
+        group.finish();
+    }
+
+    // grain_size: warm raw runs (the cached preparation is what auto-tuning
+    // refines, so warm re-runs under `auto` execute at the tuned grain) of
+    // fill and gather at small sizes, sweeping the chunk grain. The win to
+    // look for: at grain 1 every inner iteration pays one instance spawn
+    // plus its parks; a chunk of c iterations pays that once. Gather's
+    // producer loop has no eligible chunk site — it is the control showing
+    // the transform costs nothing where it cannot apply. Instance counts
+    // from one extra run are recorded next to the wall-clock because the
+    // overhead reduction they show is core-count-independent.
+    for (workload, source, n) in [
+        ("fill", fine_fill_source(), 8i64),
+        ("fill", fine_fill_source(), 64),
+        ("gather", gather_source(8), 8),
+        ("gather", gather_source(64), 64),
+    ] {
+        let program = pods::compile(&source).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("grain_size_{workload}_{n}"));
+        for chunk in [
+            ChunkPolicy::Fixed(1),
+            ChunkPolicy::Fixed(2),
+            ChunkPolicy::Fixed(8),
+            ChunkPolicy::Auto,
+        ] {
+            let runtime = Runtime::builder(EngineKind::Native)
+                .workers(reuse_workers)
+                .chunk_policy(chunk)
+                .build();
+            // Warm the cache (and, under auto, let the retune settle)
+            // before measuring.
+            for _ in 0..4 {
+                runtime.run(&program, &[Value::Int(n)]).expect("warm-up");
+            }
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(format!("chunk-{chunk}"), reuse_workers),
+                &reuse_workers,
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..PREP_RUNS {
+                            runtime.run(&program, &[Value::Int(n)]).expect("bench run");
+                        }
+                    });
+                    mean_us = b.mean_ns / 1e3 / PREP_RUNS as f64;
+                },
+            );
+            let outcome = runtime.run(&program, &[Value::Int(n)]).expect("stats run");
+            let EngineStats::Native { stats, .. } = outcome.stats else {
+                panic!("native stats expected");
+            };
+            rows.push_str(&format!(
+                ",\n    {{\"group\": \"grain_size\", \"workload\": \"{workload}\", \"n\": {n}, \
+                 \"engine\": \"native\", \"workers\": {reuse_workers}, \"chunk\": \"{chunk}\", \
+                 \"mean_wall_us\": {mean_us:.1}, \"instances\": {}, \
+                 \"iterations_per_instance\": {:.2}, \"chunks_autotuned\": {}}}",
+                stats.instances_spawned(),
+                stats.iterations_per_instance(),
+                stats.chunks_autotuned
             ));
         }
         group.finish();

@@ -674,7 +674,12 @@ impl Simulation {
                 t: &mut t,
                 timing: &timing,
             };
-            exec::run_instance(&mut cx, &template.code, slot_table)
+            exec::run_instance(
+                &mut cx,
+                &template.code,
+                slot_table,
+                template.chunk_meta.as_ref(),
+            )
         };
 
         let eu = &mut self.pes[pe].units[EU];

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 use pods_dataflow::{LoopInfo, LoopKey};
-use pods_sp::{Instr, LoopMeta, Operand, SpId, SpKind, SpProgram, SpTemplate};
+use pods_sp::{chunk_loop_spawns, Instr, LoopMeta, Operand, SpId, SpKind, SpProgram, SpTemplate};
+
+pub use pods_sp::{ChunkPolicy, ChunkSummary};
 
 /// Configuration of the partitioning pass, mostly useful for ablation
 /// studies (every switch defaults to the paper's behaviour).
@@ -59,6 +61,13 @@ pub struct PartitionConfig {
     /// (ablation of the LCD heuristic; determinism is preserved by the
     /// I-structure memory, only performance changes).
     pub ignore_lcd: bool,
+    /// Grain-size control: group this many consecutive inner-loop
+    /// iterations into one SP instance (see
+    /// [`pods_sp::chunk_loop_spawns`]). `Fixed(1)` — the default — leaves
+    /// the program untouched; `Auto` sizes the chunk from the loop body.
+    /// Applied after distribution, so Range-Filter responsibility
+    /// partitioning stays exact under chunking.
+    pub chunk: ChunkPolicy,
 }
 
 impl Default for PartitionConfig {
@@ -68,6 +77,7 @@ impl Default for PartitionConfig {
             distribute_loops: true,
             insert_range_filters: true,
             ignore_lcd: false,
+            chunk: ChunkPolicy::Fixed(1),
         }
     }
 }
@@ -81,6 +91,7 @@ impl PartitionConfig {
             distribute_loops: false,
             insert_range_filters: false,
             ignore_lcd: false,
+            chunk: ChunkPolicy::Fixed(1),
         }
     }
 }
@@ -136,6 +147,10 @@ pub struct PartitionReport {
     pub distributed_spawns: usize,
     /// Number of Range Filters inserted.
     pub range_filters: usize,
+    /// Number of loop spawn sites rewritten by grain-size control.
+    pub chunked_spawns: usize,
+    /// The largest chunk size applied (0 when nothing was chunked).
+    pub chunk_size: usize,
 }
 
 impl PartitionReport {
@@ -157,6 +172,40 @@ impl PartitionReport {
 
 /// Runs the partitioner over an SP program, rewriting it in place.
 pub fn partition(
+    program: &mut SpProgram,
+    loops: &[LoopInfo],
+    config: &PartitionConfig,
+) -> PartitionReport {
+    partition_with_chunk_boost(program, loops, config, 1)
+}
+
+/// [`partition`] with a multiplier applied to auto-sized chunks: the
+/// adaptive grain-control loop re-partitions a program with `boost` 2, 4, …
+/// to coarsen the grain the auto heuristic picked, without changing the
+/// configured [`PartitionConfig::chunk`] policy (so prepared-handle
+/// compatibility checks still compare the *policy*, not the tuned size).
+/// `boost` has no effect on `Fixed` policies.
+pub fn partition_with_chunk_boost(
+    program: &mut SpProgram,
+    loops: &[LoopInfo],
+    config: &PartitionConfig,
+    boost: usize,
+) -> PartitionReport {
+    let mut report = partition_unchunked(program, loops, config);
+    // Chunking runs after distribution so the chunk driver circulates the
+    // Range-Filtered (per-PE) bounds, never the raw ones.
+    let summary = chunk_loop_spawns(program, config.chunk, boost.max(1));
+    report.chunked_spawns = summary.sites;
+    report.chunk_size = if summary.sites == 0 {
+        0
+    } else {
+        summary.max_chunk
+    };
+    report
+}
+
+/// The distribution passes (§4 of the paper), without grain-size control.
+fn partition_unchunked(
     program: &mut SpProgram,
     loops: &[LoopInfo],
     config: &PartitionConfig,
@@ -670,6 +719,66 @@ mod tests {
             report.decision_for("main", 0),
             Some(LoopDecision::CentralizedEscape)
         ));
+    }
+
+    #[test]
+    fn chunking_composes_with_distribution_and_with_its_absence() {
+        // Default (chunk = Fixed(1)) must leave the program byte-identical.
+        let (unchunked, baseline) = partitioned(PAPER_EXAMPLE, &PartitionConfig::default());
+        assert_eq!(baseline.chunked_spawns, 0);
+        assert_eq!(baseline.chunk_size, 0);
+
+        // A fixed chunk rewrites the nest's inner spawn site on top of the
+        // usual distribution decisions.
+        let config = PartitionConfig {
+            chunk: ChunkPolicy::Fixed(4),
+            ..PartitionConfig::default()
+        };
+        let (program, report) = partitioned(PAPER_EXAMPLE, &config);
+        assert!(program.validate().is_empty(), "{:?}", program.validate());
+        assert_eq!(report.chunked_spawns, 1);
+        assert_eq!(report.chunk_size, 4);
+        assert_eq!(report.distributed_spawns, baseline.distributed_spawns);
+        assert_eq!(report.range_filters, baseline.range_filters);
+        assert_ne!(program.fingerprint(), unchunked.fingerprint());
+        // The chunk driver lives in the *inner* (j) template.
+        let j_loop = program.loop_template("main", 1).unwrap();
+        assert!(j_loop.chunk_meta.is_some());
+
+        // Chunking also applies when distribution is disabled entirely
+        // (the early-return path).
+        let seq = PartitionConfig {
+            chunk: ChunkPolicy::Fixed(4),
+            ..PartitionConfig::sequential()
+        };
+        let (program, report) = partitioned(PAPER_EXAMPLE, &seq);
+        assert!(program.validate().is_empty());
+        assert_eq!(report.chunked_spawns, 1);
+        assert_eq!(report.distributed_spawns, 0);
+    }
+
+    #[test]
+    fn chunk_boost_coarsens_auto_grain_without_touching_fixed() {
+        let auto = PartitionConfig {
+            chunk: ChunkPolicy::Auto,
+            ..PartitionConfig::default()
+        };
+        let hir = pods_idlang::compile(PAPER_EXAMPLE).unwrap();
+        let loops = analyze_loops(&hir);
+        let mut base = translate(&hir).unwrap();
+        let base_report = partition_with_chunk_boost(&mut base, &loops, &auto, 1);
+        let mut boosted = translate(&hir).unwrap();
+        let boosted_report = partition_with_chunk_boost(&mut boosted, &loops, &auto, 2);
+        assert!(base_report.chunk_size >= 1);
+        assert_eq!(boosted_report.chunk_size, base_report.chunk_size * 2);
+
+        let fixed = PartitionConfig {
+            chunk: ChunkPolicy::Fixed(4),
+            ..PartitionConfig::default()
+        };
+        let mut fixed_boosted = translate(&hir).unwrap();
+        let fixed_report = partition_with_chunk_boost(&mut fixed_boosted, &loops, &fixed, 8);
+        assert_eq!(fixed_report.chunk_size, 4, "boost must not scale Fixed");
     }
 
     #[test]

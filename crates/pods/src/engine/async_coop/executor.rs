@@ -96,6 +96,9 @@ pub(crate) struct AsyncJob {
     wakeups: AtomicU64,
     wakeup_flushes: AtomicU64,
     arena_reuses: AtomicU64,
+    chunk_iterations: AtomicU64,
+    /// Adaptive-grain retunes applied before this job (see [`JobSpec`]).
+    chunks_autotuned: u64,
 }
 
 impl AsyncJob {
@@ -130,6 +133,8 @@ impl AsyncJob {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+            chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
+            chunks_autotuned: self.chunks_autotuned,
         }
     }
 }
@@ -417,7 +422,12 @@ impl ExecShared {
                     w,
                     worker: ctx,
                 };
-                exec::run_instance(&mut cx, &template.code, slot_table)
+                exec::run_instance(
+                    &mut cx,
+                    &template.code,
+                    slot_table,
+                    template.chunk_meta.as_ref(),
+                )
             };
             match exit {
                 Ok(RunExit::Finished(v)) => {
@@ -607,6 +617,11 @@ impl ExecCtx for AsyncCtx<'_> {
         self.job.stop.load(Ordering::Relaxed) || self.pool.stop.load(Ordering::Relaxed)
     }
 
+    #[inline(always)]
+    fn chunk_advanced(&mut self) {
+        self.job.chunk_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn spawn(
         &mut self,
         target: SpId,
@@ -707,6 +722,7 @@ impl AsyncPool {
             page_size,
             max_tasks,
             delivery_batch,
+            chunks_autotuned,
         } = spec;
         let entry_template = program.entry();
         let job = Arc::new(AsyncJob {
@@ -736,6 +752,8 @@ impl AsyncPool {
             wakeups: AtomicU64::new(0),
             wakeup_flushes: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
+            chunk_iterations: AtomicU64::new(0),
+            chunks_autotuned,
         });
         let home = (seq as usize - 1) % self.shared.workers;
         // Submission happens off the worker threads, so the entry frame

@@ -109,6 +109,33 @@ pub struct AsyncStats {
     /// [`super::NativeStats::arena_reuses`], so the two schedulers pay
     /// comparable allocator traffic).
     pub arena_reuses: u64,
+    /// Extra loop iterations absorbed by chunked instances (the async
+    /// analogue of [`super::NativeStats::chunk_iterations`]): grows by one
+    /// each time the chunk driver advanced a task to its next iteration in
+    /// place instead of spawning a fresh task.
+    pub chunk_iterations: u64,
+    /// Chunk-size retunes applied by [`crate::Runtime`]'s adaptive grain
+    /// control before this job ran (0 on first runs and fixed policies).
+    pub chunks_autotuned: u64,
+}
+
+impl AsyncStats {
+    /// SP instances (tasks) actually created over the run (alias of
+    /// `instances`, named for symmetry with
+    /// [`Self::iterations_per_instance`]).
+    pub fn instances_spawned(&self) -> u64 {
+        self.instances
+    }
+
+    /// Effective grain: average loop iterations executed per spawned task.
+    /// `1.0` for an unchunked run; grows toward the chunk size as chunking
+    /// takes hold.
+    pub fn iterations_per_instance(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        (self.instances + self.chunk_iterations) as f64 / self.instances as f64
+    }
 }
 
 impl Engine for AsyncCoopEngine {

@@ -187,6 +187,18 @@ impl EngineOutcome {
         }
     }
 
+    /// Effective grain — average loop iterations executed per spawned SP
+    /// instance — for the engines that spawn real instances (native,
+    /// async). `None` for the modelled engines, which have no instance
+    /// pool to measure.
+    pub fn iterations_per_instance(&self) -> Option<f64> {
+        match &self.stats {
+            EngineStats::Native { stats, .. } => Some(stats.iterations_per_instance()),
+            EngineStats::AsyncCoop { stats, .. } => Some(stats.iterations_per_instance()),
+            _ => None,
+        }
+    }
+
     /// The partition report, for engines that run the partitioned program.
     pub fn partition(&self) -> Option<&PartitionReport> {
         match &self.stats {

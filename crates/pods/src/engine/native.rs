@@ -134,6 +134,33 @@ pub struct NativeStats {
     /// Instances whose frame was recycled from a worker's arena free-list
     /// instead of freshly allocated.
     pub arena_reuses: u64,
+    /// Extra loop iterations absorbed by chunked instances: each time the
+    /// chunk driver advanced an instance to its next iteration in place
+    /// (instead of a fresh spawn) this grows by one. `0` when the program
+    /// ran unchunked.
+    pub chunk_iterations: u64,
+    /// Chunk-size retunes applied by [`crate::Runtime`]'s adaptive grain
+    /// control before this job ran (0 on the first run of a program and
+    /// whenever the chunk policy is fixed).
+    pub chunks_autotuned: u64,
+}
+
+impl NativeStats {
+    /// SP instances actually created over the run (alias of `instances`,
+    /// named for symmetry with [`Self::iterations_per_instance`]).
+    pub fn instances_spawned(&self) -> u64 {
+        self.instances
+    }
+
+    /// Effective grain: average loop iterations executed per spawned
+    /// instance. `1.0` for an unchunked run (every iteration was its own
+    /// instance); grows toward the chunk size as chunking takes hold.
+    pub fn iterations_per_instance(&self) -> f64 {
+        if self.instances == 0 {
+            return 0.0;
+        }
+        (self.instances + self.chunk_iterations) as f64 / self.instances as f64
+    }
 }
 
 /// `(instance, slot)` continuation tag: where a produced value must go.
@@ -199,6 +226,10 @@ pub(crate) struct JobSpec {
     /// Max wake-ups buffered per worker before a forced flush (>= 1; 1
     /// flushes after every write, i.e. unbatched delivery).
     pub delivery_batch: usize,
+    /// How many times adaptive grain control re-partitioned this program
+    /// with a larger chunk before this submission (reported in the stats;
+    /// 0 for cold runs and fixed chunk policies).
+    pub chunks_autotuned: u64,
 }
 
 impl JobSpec {
@@ -216,6 +247,7 @@ impl JobSpec {
             page_size: opts.page_size,
             max_tasks: opts.max_events,
             delivery_batch: opts.delivery_batch.max(1),
+            chunks_autotuned: 0,
         }
     }
 }
@@ -276,6 +308,8 @@ struct Job {
     /// Max wake-ups buffered per worker before a forced flush (1 =
     /// unbatched).
     delivery_batch: usize,
+    /// Adaptive-grain retunes applied before this job (see [`JobSpec`]).
+    chunks_autotuned: u64,
     next_instance: AtomicU64,
     next_array: AtomicUsize,
     tasks: AtomicU64,
@@ -284,6 +318,7 @@ struct Job {
     wakeups: AtomicU64,
     wakeup_flushes: AtomicU64,
     arena_reuses: AtomicU64,
+    chunk_iterations: AtomicU64,
 }
 
 impl Job {
@@ -317,6 +352,8 @@ impl Job {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
+            chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
+            chunks_autotuned: self.chunks_autotuned,
         }
     }
 }
@@ -613,7 +650,12 @@ impl PoolShared {
                     w,
                     worker: ctx,
                 };
-                exec::run_instance(&mut cx, &template.code, slot_table)
+                exec::run_instance(
+                    &mut cx,
+                    &template.code,
+                    slot_table,
+                    template.chunk_meta.as_ref(),
+                )
             };
             match exit {
                 Ok(RunExit::Finished(v)) => {
@@ -807,6 +849,11 @@ impl ExecCtx for NativeCtx<'_> {
         self.job.stop.load(Ordering::Relaxed) || self.pool.stop.load(Ordering::Relaxed)
     }
 
+    #[inline(always)]
+    fn chunk_advanced(&mut self) {
+        self.job.chunk_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn spawn(
         &mut self,
         target: SpId,
@@ -909,6 +956,7 @@ impl NativePool {
             page_size,
             max_tasks,
             delivery_batch,
+            chunks_autotuned,
         } = spec;
         let entry_template = program.entry();
         let job = Arc::new(Job {
@@ -929,6 +977,7 @@ impl NativePool {
             page_size,
             max_tasks,
             delivery_batch: delivery_batch.max(1),
+            chunks_autotuned,
             next_instance: AtomicU64::new(0),
             next_array: AtomicUsize::new(0),
             tasks: AtomicU64::new(0),
@@ -937,6 +986,7 @@ impl NativePool {
             wakeups: AtomicU64::new(0),
             wakeup_flushes: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
+            chunk_iterations: AtomicU64::new(0),
         });
         let home = (seq as usize - 1) % self.shared.workers;
         // Submission happens off the worker threads, so the entry frame

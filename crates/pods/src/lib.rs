@@ -80,4 +80,4 @@ pub use pods_machine::{
     ArraySnapshot, MachineConfig, SimulationError, SimulationResult, SimulationStats, TimingModel,
     Unit,
 };
-pub use pods_partition::{LoopDecision, PartitionConfig, PartitionReport};
+pub use pods_partition::{ChunkPolicy, LoopDecision, PartitionConfig, PartitionReport};

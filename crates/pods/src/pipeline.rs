@@ -15,7 +15,7 @@ use pods_dataflow::{analyze_loops, build_program, DataflowProgram, LoopInfo};
 use pods_idlang::HirProgram;
 use pods_istructure::Value;
 use pods_machine::{MachineConfig, SimulationResult};
-use pods_partition::{partition, PartitionConfig, PartitionReport};
+use pods_partition::{partition_with_chunk_boost, PartitionConfig, PartitionReport};
 use pods_sp::{translate, SpProgram};
 
 /// Options controlling a PODS run.
@@ -134,8 +134,20 @@ impl CompiledProgram {
     /// Partitions the SP program for the given options and returns it
     /// together with the partition report.
     pub fn partitioned(&self, options: &RunOptions) -> (SpProgram, PartitionReport) {
+        self.partitioned_with_chunk_boost(options, 1)
+    }
+
+    /// [`Self::partitioned`] with a grain multiplier on auto-sized chunks
+    /// (the runtime's adaptive grain control re-prepares programs through
+    /// this; `boost` 1 is the plain path and `Fixed` policies ignore it).
+    pub fn partitioned_with_chunk_boost(
+        &self,
+        options: &RunOptions,
+        boost: usize,
+    ) -> (SpProgram, PartitionReport) {
         let mut program = self.sp.clone();
-        let report = partition(&mut program, &self.loops, &options.partition);
+        let report =
+            partition_with_chunk_boost(&mut program, &self.loops, &options.partition, boost);
         (program, report)
     }
 

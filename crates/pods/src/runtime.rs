@@ -58,12 +58,12 @@
 
 use crate::engine::{
     build_read_slots, check_invocation, AsyncJobHandle, AsyncPool, EngineKind, EngineOutcome,
-    JobSpec, NativeJobHandle, NativePool, ReadSlots,
+    EngineStats, JobSpec, NativeJobHandle, NativePool, ReadSlots,
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use pods_istructure::Value;
-use pods_partition::{PartitionConfig, PartitionReport};
+use pods_partition::{ChunkPolicy, PartitionConfig, PartitionReport};
 use pods_sp::SpProgram;
 use std::sync::{Arc, Mutex};
 
@@ -82,6 +82,12 @@ pub struct RuntimeBuilder {
 
 /// Default capacity of the runtime's prepared-program LRU cache.
 const DEFAULT_PREPARED_CACHE: usize = 16;
+
+/// Upper bound on adaptive grain retunes per cached program: each retune
+/// doubles the auto-sized chunk, so generation 3 runs at 8× the prepare-time
+/// grain (and the chunk transform itself caps boosted chunks — see
+/// [`pods_sp::chunk`]).
+const MAX_AUTOTUNE: u64 = 3;
 
 impl RuntimeBuilder {
     /// Starts a builder for the given engine kind. Workers default to the
@@ -121,6 +127,25 @@ impl RuntimeBuilder {
     /// handling).
     pub fn partition(mut self, partition: PartitionConfig) -> Self {
         self.opts.partition = partition;
+        self
+    }
+
+    /// Grain-size control with a fixed chunk: group `chunk` consecutive
+    /// inner-loop iterations into one SP instance (clamped to at least 1;
+    /// `1` is the untouched fine-grained program). Shorthand for
+    /// [`RuntimeBuilder::chunk_policy`] with [`ChunkPolicy::Fixed`].
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        self.opts.partition.chunk = ChunkPolicy::Fixed(chunk.max(1));
+        self
+    }
+
+    /// Grain-size control policy. [`ChunkPolicy::Auto`] sizes each chunk
+    /// from the loop body at prepare time and lets the runtime coarsen the
+    /// grain from first-run statistics (see [`Runtime::run`]); the chunk
+    /// policy is part of the partitioner configuration, so prepared handles
+    /// only run on runtimes with a matching policy.
+    pub fn chunk_policy(mut self, policy: ChunkPolicy) -> Self {
+        self.opts.partition.chunk = policy;
         self
     }
 
@@ -324,7 +349,15 @@ impl Runtime {
     }
 
     fn prepare_uncached(&self, program: &CompiledProgram) -> PreparedProgram {
-        let (sp, partition) = program.partitioned(&self.opts);
+        self.prepare_with_autotune(program, 0)
+    }
+
+    /// Prepares `program` with `autotuned` grain retunes applied: auto-sized
+    /// chunks are multiplied by `2^autotuned` (fixed chunk policies are
+    /// unaffected, so retuning is a no-op for them by construction).
+    fn prepare_with_autotune(&self, program: &CompiledProgram, autotuned: u64) -> PreparedProgram {
+        let boost = 1usize << autotuned.min(usize::BITS as u64 - 1);
+        let (sp, partition) = program.partitioned_with_chunk_boost(&self.opts, boost);
         let read_slots = build_read_slots(&sp);
         let sp = Arc::new(sp);
         PreparedProgram {
@@ -336,7 +369,57 @@ impl Runtime {
                 sp,
                 read_slots: Arc::new(read_slots),
                 partition,
+                autotuned,
             }),
+        }
+    }
+
+    /// Adaptive grain control: after a successful pooled run under
+    /// [`ChunkPolicy::Auto`], decide from the run's statistics whether the
+    /// auto-sized chunk was too fine, and if so replace the program's
+    /// prepared-cache entry with a re-partitioned one whose chunk is twice
+    /// as coarse. Warm re-runs of the raw program then pick up the tuned
+    /// grain from the cache; prepared handles the caller pinned keep the
+    /// grain they were built with.
+    fn maybe_retune(&self, program: &CompiledProgram, outcome: &EngineOutcome) {
+        if self.prepared_cap == 0
+            || self.opts.partition.chunk != ChunkPolicy::Auto
+            || !self.kind.is_pooled()
+        {
+            return;
+        }
+        // Only retune runs where chunking was actually in effect...
+        if outcome.partition().is_none_or(|p| p.chunked_spawns == 0) {
+            return;
+        }
+        // ...and where instances still comfortably outnumber the workers:
+        // a coarser grain trades scheduling overhead for parallel slack, so
+        // it only pays while there is slack left to spend.
+        let instances = match &outcome.stats {
+            EngineStats::Native { stats, .. } => stats.instances,
+            EngineStats::AsyncCoop { stats, .. } => stats.instances,
+            _ => return,
+        };
+        if instances <= (self.workers() as u64).saturating_mul(2) {
+            return;
+        }
+        let identity = program.identity();
+        let autotuned = {
+            let cache = self.prepared.lock().expect("prepared cache poisoned");
+            match cache.iter().find(|p| p.inner.identity == identity) {
+                Some(entry) if entry.inner.autotuned < MAX_AUTOTUNE => entry.inner.autotuned,
+                _ => return,
+            }
+        };
+        // Re-partition outside the lock (same discipline as `prepare`).
+        let fresh = self.prepare_with_autotune(program, autotuned + 1);
+        let mut cache = self.prepared.lock().expect("prepared cache poisoned");
+        if let Some(i) = cache.iter().position(|p| p.inner.identity == identity) {
+            // A racing retune may have advanced the entry already; only
+            // replace an entry at the generation this retune started from.
+            if cache[i].inner.autotuned == autotuned {
+                cache[i] = fresh;
+            }
         }
     }
 
@@ -353,7 +436,11 @@ impl Runtime {
         program: P,
         args: &[Value],
     ) -> Result<EngineOutcome, PodsError> {
-        self.submit(program, args)?.wait()
+        let outcome = self.submit(program, args)?.wait();
+        if let Ok(ok) = &outcome {
+            self.maybe_retune(program.compiled(), ok);
+        }
+        outcome
     }
 
     /// Submits one program for execution and returns a [`JobHandle`].
@@ -454,6 +541,9 @@ struct PreparedInner {
     sp: Arc<SpProgram>,
     read_slots: Arc<ReadSlots>,
     partition: PartitionReport,
+    /// How many adaptive grain retunes produced this preparation (0 = the
+    /// prepare-time grain; each retune doubled the auto-sized chunk).
+    autotuned: u64,
 }
 
 impl PreparedProgram {
@@ -489,6 +579,12 @@ impl PreparedProgram {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// How many adaptive grain retunes produced this preparation (0 = the
+    /// prepare-time grain; each retune doubled the auto-sized chunk).
+    pub fn chunks_autotuned(&self) -> u64 {
+        self.inner.autotuned
+    }
+
     /// The per-job spec handed to the native pool: `Arc` bumps plus a
     /// partition-report clone, no program work.
     fn job_spec(&self, opts: &RunOptions) -> JobSpec {
@@ -499,6 +595,7 @@ impl PreparedProgram {
             page_size: opts.page_size,
             max_tasks: opts.max_events,
             delivery_batch: opts.delivery_batch.max(1),
+            chunks_autotuned: self.inner.autotuned,
         }
     }
 }

@@ -60,7 +60,7 @@
 //!   negation and absolute value overflowed the same way.
 
 use crate::instr::{Instr, Operand, SlotId, SpId};
-use crate::template::SpProgram;
+use crate::template::{ChunkMeta, SpProgram};
 use pods_idlang::{BinaryOp, UnaryOp};
 use pods_istructure::{ArrayHeader, ArrayId, DimRange, PeId, Value};
 
@@ -449,6 +449,13 @@ pub trait ExecCtx: ArrayOps {
         return_to: Option<SlotId>,
     ) -> Result<(), String>;
 
+    /// Called by the chunk driver each time it advances the iteration
+    /// cursor in place: one chunked outer iteration completed and the next
+    /// begins without spawning a new instance. Default: no-op; the pooled
+    /// engines count these to report the effective grain.
+    #[inline(always)]
+    fn chunk_advanced(&mut self) {}
+
     /// Resolves an operand against the frame. Absent slots read as
     /// [`Value::Unit`]; the firing rule makes that unobservable for slots
     /// an instruction declares in [`Instr::read_slots`].
@@ -669,10 +676,71 @@ pub fn execute_instr<C: ExecCtx>(ctx: &mut C, instr: &Instr) -> Result<Step, Str
     }
 }
 
+/// Advances a chunked instance to its next outer iteration in place, if
+/// both the per-instance chunk budget and the loop limit allow.
+///
+/// This replicates the *parent's* loop circulation exactly: the cursor
+/// steps by one (`Add` ascending / `Sub` descending) and continues only
+/// while the parent's own continuation test (`Le` / `Ge` against the
+/// effective limit the parent passed along) holds — same numeric promotion,
+/// same error classes, so a chunked run executes precisely the iterations
+/// the unchunked program would. On advance the scratch slots are cleared
+/// (no stale presence bits leak between iterations) and the program counter
+/// returns to the top of the template, re-running any Range-Filter prologue
+/// against the updated outer index.
+///
+/// # Errors
+///
+/// Propagates evaluation errors from the replicated increment or test —
+/// the same errors the parent's own loop instructions would raise.
+fn advance_chunk<C: ExecCtx>(ctx: &mut C, meta: &ChunkMeta) -> Result<bool, String> {
+    let taken = match ctx.slot(meta.taken) {
+        Some(Value::Int(t)) => t,
+        _ => 1,
+    };
+    if taken >= meta.chunk as i64 {
+        return Ok(false);
+    }
+    let Some(cursor) = ctx.slot(meta.cursor) else {
+        return Ok(false);
+    };
+    let Some(limit) = ctx.slot(meta.limit) else {
+        return Ok(false);
+    };
+    let step = if meta.descending {
+        BinaryOp::Sub
+    } else {
+        BinaryOp::Add
+    };
+    let next = eval_binary(step, cursor, Value::Int(1)).map_err(|e| e.to_string())?;
+    let test = if meta.descending {
+        BinaryOp::Ge
+    } else {
+        BinaryOp::Le
+    };
+    let cont = eval_binary(test, next, limit).map_err(|e| e.to_string())?;
+    if cont != Value::Bool(true) {
+        return Ok(false);
+    }
+    ctx.set_slot(meta.cursor, next);
+    ctx.set_slot(meta.taken, Value::Int(taken + 1));
+    for s in meta.first_scratch..meta.num_slots {
+        ctx.clear_slot(SlotId(s));
+    }
+    ctx.set_pc(0);
+    ctx.chunk_advanced();
+    Ok(true)
+}
+
 /// Runs one SP instance until it terminates, blocks on an absent operand,
 /// or the context's stop signal fires. This is the shared driver loop:
 /// firing-rule check (against the precomputed `read_slots` table for the
 /// instance's template), then [`execute_instr`], then pc update.
+///
+/// For chunked templates (`chunk` is `Some`), a completed pass over the
+/// code is not necessarily the end of the instance: the driver advances the
+/// iteration cursor in place via [`ChunkMeta`] and re-runs from the top
+/// until the chunk budget or the loop limit is exhausted.
 ///
 /// # Errors
 ///
@@ -681,6 +749,7 @@ pub fn run_instance<C: ExecCtx>(
     ctx: &mut C,
     code: &[Instr],
     read_slots: &[Vec<SlotId>],
+    chunk: Option<&ChunkMeta>,
 ) -> Result<RunExit, String> {
     loop {
         if ctx.should_stop() {
@@ -688,6 +757,11 @@ pub fn run_instance<C: ExecCtx>(
         }
         let pc = ctx.pc();
         let Some(instr) = code.get(pc) else {
+            if let Some(meta) = chunk {
+                if advance_chunk(ctx, meta)? {
+                    continue;
+                }
+            }
             return Ok(RunExit::Finished(None));
         };
         // Dataflow firing rule: every operand the instruction reads must be
@@ -703,7 +777,16 @@ pub fn run_instance<C: ExecCtx>(
         match execute_instr(ctx, instr)? {
             Step::Next => ctx.set_pc(pc + 1),
             Step::Jump(target) => ctx.set_pc(target),
-            Step::Finished(v) => return Ok(RunExit::Finished(v)),
+            Step::Finished(v) => {
+                if v.is_none() {
+                    if let Some(meta) = chunk {
+                        if advance_chunk(ctx, meta)? {
+                            continue;
+                        }
+                    }
+                }
+                return Ok(RunExit::Finished(v));
+            }
         }
     }
 }
@@ -1424,7 +1507,7 @@ mod tests {
         ];
         let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
         let mut ctx = TestCtx::new(4).with_array(0, &[4], 8);
-        let exit = run_instance(&mut ctx, &code, &read_slots).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, None).unwrap();
         assert_eq!(exit, RunExit::Blocked(s(1)));
         assert_eq!(ctx.pc, 2, "blocked at the consumer, past the issued load");
         assert_eq!(ctx.waiters.len(), 1, "the load registered its waiter");
@@ -1435,7 +1518,7 @@ mod tests {
 
         // Delivering the value and re-entering finishes the instance.
         ctx.set_slot(s(1), Value::Int(41));
-        let exit = run_instance(&mut ctx, &code, &read_slots).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         assert_eq!(ctx.slot(s(2)), Some(Value::Int(42)));
     }
@@ -1450,15 +1533,123 @@ mod tests {
         let mut ctx = TestCtx::new(1);
         ctx.stop = true;
         assert_eq!(
-            run_instance(&mut ctx, &code, &read_slots).unwrap(),
+            run_instance(&mut ctx, &code, &read_slots, None).unwrap(),
             RunExit::Stopped
         );
         ctx.stop = false;
         assert_eq!(
-            run_instance(&mut ctx, &code, &read_slots).unwrap(),
+            run_instance(&mut ctx, &code, &read_slots, None).unwrap(),
             RunExit::Finished(None),
             "running off the end finishes with no value"
         );
+    }
+
+    /// A hand-built chunked template: params are `a` (s0), the cursor
+    /// (s1), and the chunk limit (s2); s3 is the driver-managed `taken`
+    /// counter and s4 a scratch temp. The body stores `cursor * 10` into
+    /// `a[cursor]` and returns.
+    fn chunked_store_template() -> (Vec<Instr>, ChunkMeta) {
+        let code = vec![
+            Instr::Binary {
+                op: BinaryOp::Mul,
+                dst: s(4),
+                lhs: slot_op(1),
+                rhs: Operand::Int(10),
+            },
+            Instr::ArrayStore {
+                array: slot_op(0),
+                indices: vec![slot_op(1)],
+                value: slot_op(4),
+            },
+            Instr::Return { value: None },
+        ];
+        let meta = ChunkMeta {
+            cursor: s(1),
+            limit: s(2),
+            taken: s(3),
+            first_scratch: 4,
+            num_slots: 5,
+            chunk: 3,
+            descending: false,
+        };
+        (code, meta)
+    }
+
+    #[test]
+    fn chunk_driver_runs_consecutive_iterations_in_one_instance() {
+        let (code, meta) = chunked_store_template();
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let mut ctx = TestCtx::new(5)
+            .with_array(0, &[8], 8)
+            .with_slot(1, Value::Int(2))
+            .with_slot(2, Value::Int(7));
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        // Chunk budget 3 starting at cursor 2: iterations 2, 3, 4.
+        for (i, cell) in ctx.arrays[0].1.iter().enumerate() {
+            let expected = (2..=4).contains(&i).then(|| Value::Int(i as i64 * 10));
+            assert_eq!(*cell, expected, "a[{i}]");
+        }
+        assert_eq!(ctx.slot(s(3)), Some(Value::Int(3)), "taken counter");
+    }
+
+    #[test]
+    fn chunk_driver_stops_at_the_loop_limit() {
+        let (code, meta) = chunked_store_template();
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        // Cursor 6, limit 7, budget 3: only iterations 6 and 7 run.
+        let mut ctx = TestCtx::new(5)
+            .with_array(0, &[8], 8)
+            .with_slot(1, Value::Int(6))
+            .with_slot(2, Value::Int(7));
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        assert_eq!(ctx.arrays[0].1[6], Some(Value::Int(60)));
+        assert_eq!(ctx.arrays[0].1[7], Some(Value::Int(70)));
+        assert_eq!(ctx.arrays[0].1[5], None);
+    }
+
+    #[test]
+    fn chunk_driver_replicates_the_parent_test_on_float_limits() {
+        // `for i = 0 to 2.5` runs i = 0, 1, 2 in the unchunked parent
+        // (Int-vs-Float comparison promotes); the chunk driver must agree.
+        let (code, mut meta) = chunked_store_template();
+        meta.chunk = 10;
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let mut ctx = TestCtx::new(5)
+            .with_array(0, &[8], 8)
+            .with_slot(1, Value::Int(0))
+            .with_slot(2, Value::Float(2.5));
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        let written: Vec<usize> = ctx.arrays[0]
+            .1
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_some().then_some(i))
+            .collect();
+        assert_eq!(written, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunk_driver_descends_and_clears_scratch_between_iterations() {
+        let (code, mut meta) = chunked_store_template();
+        meta.descending = true;
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        // Cursor 5 descending to limit 4, budget 3: iterations 5 and 4.
+        let mut ctx = TestCtx::new(5)
+            .with_array(0, &[8], 8)
+            .with_slot(1, Value::Int(5))
+            .with_slot(2, Value::Int(4));
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        assert_eq!(ctx.arrays[0].1[5], Some(Value::Int(50)));
+        assert_eq!(ctx.arrays[0].1[4], Some(Value::Int(40)));
+        assert_eq!(ctx.arrays[0].1[3], None);
+        // The scratch temp holds the *last* iteration's value — the clear
+        // between iterations means each store read a freshly computed s4,
+        // never a stale one (the distinct stored values above prove it).
+        assert_eq!(ctx.slot(s(4)), Some(Value::Int(40)));
     }
 
     #[test]

@@ -333,6 +333,96 @@ impl Instr {
         }
     }
 
+    /// Rewrites every slot reference — destinations, operands, and return
+    /// slots — with the provided function. Used by the chunking transform
+    /// when it inserts slots into the middle of a frame layout.
+    pub fn map_slots(&mut self, f: impl Fn(SlotId) -> SlotId) {
+        let map_op = |op: &mut Operand| {
+            if let Operand::Slot(s) = op {
+                *s = f(*s);
+            }
+        };
+        match self {
+            Instr::Binary { dst, lhs, rhs, .. } => {
+                *dst = f(*dst);
+                map_op(lhs);
+                map_op(rhs);
+            }
+            Instr::Unary { dst, src, .. } => {
+                *dst = f(*dst);
+                map_op(src);
+            }
+            Instr::Move { dst, src } => {
+                *dst = f(*dst);
+                map_op(src);
+            }
+            Instr::BranchIfFalse { cond, .. } => map_op(cond),
+            Instr::Jump { .. } => {}
+            Instr::ArrayAlloc { dst, dims, .. } => {
+                *dst = f(*dst);
+                for d in dims {
+                    map_op(d);
+                }
+            }
+            Instr::ArrayLoad {
+                dst,
+                array,
+                indices,
+            } => {
+                *dst = f(*dst);
+                map_op(array);
+                for i in indices {
+                    map_op(i);
+                }
+            }
+            Instr::ArrayStore {
+                array,
+                indices,
+                value,
+            } => {
+                map_op(array);
+                for i in indices {
+                    map_op(i);
+                }
+                map_op(value);
+            }
+            Instr::Spawn { args, ret, .. } => {
+                for a in args {
+                    map_op(a);
+                }
+                if let Some(r) = ret {
+                    *r = f(*r);
+                }
+            }
+            Instr::RangeLo {
+                dst,
+                array,
+                default,
+                outer,
+                ..
+            }
+            | Instr::RangeHi {
+                dst,
+                array,
+                default,
+                outer,
+                ..
+            } => {
+                *dst = f(*dst);
+                map_op(array);
+                map_op(default);
+                if let Some(o) = outer {
+                    map_op(o);
+                }
+            }
+            Instr::Return { value } => {
+                if let Some(v) = value {
+                    map_op(v);
+                }
+            }
+        }
+    }
+
     /// `true` for instructions that complete asynchronously (split-phase).
     pub fn is_split_phase(&self) -> bool {
         matches!(
@@ -410,6 +500,53 @@ mod tests {
         let before = m.clone();
         m.shift_targets(|t| t + 2);
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn map_slots_rewrites_every_slot_reference() {
+        let bump = |s: SlotId| SlotId(s.0 + 10);
+        let mut b = Instr::Binary {
+            op: BinaryOp::Add,
+            dst: SlotId(0),
+            lhs: Operand::Slot(SlotId(1)),
+            rhs: Operand::Int(3),
+        };
+        b.map_slots(bump);
+        assert_eq!(
+            b,
+            Instr::Binary {
+                op: BinaryOp::Add,
+                dst: SlotId(10),
+                lhs: Operand::Slot(SlotId(11)),
+                rhs: Operand::Int(3),
+            }
+        );
+        let mut sp = Instr::Spawn {
+            target: SpId(1),
+            args: vec![Operand::Slot(SlotId(2)), Operand::Bool(true)],
+            distributed: true,
+            ret: Some(SlotId(5)),
+        };
+        sp.map_slots(bump);
+        assert_eq!(
+            sp,
+            Instr::Spawn {
+                target: SpId(1),
+                args: vec![Operand::Slot(SlotId(12)), Operand::Bool(true)],
+                distributed: true,
+                ret: Some(SlotId(15)),
+            }
+        );
+        let mut rl = Instr::RangeLo {
+            dst: SlotId(0),
+            array: Operand::Slot(SlotId(1)),
+            dim: 1,
+            default: Operand::Slot(SlotId(2)),
+            outer: Some(Operand::Slot(SlotId(3))),
+        };
+        rl.map_slots(bump);
+        assert_eq!(rl.written_slot(), Some(SlotId(10)));
+        assert_eq!(rl.read_slots(), vec![SlotId(11), SlotId(12), SlotId(13)]);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod exec;
 pub mod instr;
 pub mod template;
 pub mod translate;
 
+pub use chunk::{chunk_loop_spawns, ChunkPolicy, ChunkSummary};
 pub use instr::{Instr, Operand, SlotId, SpId};
-pub use template::{LoopMeta, SpKind, SpProgram, SpTemplate};
+pub use template::{ChunkMeta, LoopMeta, SpKind, SpProgram, SpTemplate};
 pub use translate::{translate, TranslateError};

@@ -54,6 +54,38 @@ pub struct LoopMeta {
     pub test_instr: usize,
 }
 
+/// Metadata of a *chunked* loop template: the chunking transform groups
+/// `chunk` consecutive outer iterations into one SP instance, and the shared
+/// driver loop in [`crate::exec`] uses this record to advance the iteration
+/// cursor in place instead of letting the instance terminate.
+///
+/// The parent spawn passes its effective loop limit as an extra trailing
+/// argument (received in `limit`), and the driver re-runs the parent's own
+/// continuation test (`Le` ascending / `Ge` descending, with the same
+/// numeric promotion) before each in-place advance — so a chunked run
+/// executes exactly the iterations the unchunked program would, including
+/// the faulting out-of-range ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkMeta {
+    /// Parameter slot holding this instance's iteration cursor (the outer
+    /// index value the parent passed).
+    pub cursor: SlotId,
+    /// Parameter slot receiving the parent's effective loop limit.
+    pub limit: SlotId,
+    /// Scratch slot counting iterations taken by this instance (absent on
+    /// entry; the driver materialises and advances it).
+    pub taken: SlotId,
+    /// First non-parameter slot: the driver clears `first_scratch..num_slots`
+    /// between iterations so stale presence bits never leak across them.
+    pub first_scratch: usize,
+    /// Total frame slots (upper end of the scratch-clear range).
+    pub num_slots: usize,
+    /// Iterations per instance (the grain); always ≥ 1.
+    pub chunk: usize,
+    /// `true` when the chunked loop steps downward (`downto`).
+    pub descending: bool,
+}
+
 /// The static description of one Subcompact Process.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpTemplate {
@@ -74,6 +106,9 @@ pub struct SpTemplate {
     pub code: Vec<Instr>,
     /// Loop metadata for loop-level templates.
     pub loop_meta: Option<LoopMeta>,
+    /// Chunk metadata, set by the chunking transform when this template
+    /// executes several consecutive outer iterations per instance.
+    pub chunk_meta: Option<ChunkMeta>,
 }
 
 impl SpTemplate {
@@ -168,6 +203,29 @@ impl SpTemplate {
                     ));
                 }
                 _ => {}
+            }
+        }
+        if let Some(chunk) = &self.chunk_meta {
+            for (what, slot) in [
+                ("cursor", chunk.cursor),
+                ("limit", chunk.limit),
+                ("taken", chunk.taken),
+            ] {
+                if slot.index() >= self.num_slots {
+                    problems.push(format!(
+                        "{}: chunk {what} slot {slot} out of range",
+                        self.name
+                    ));
+                }
+            }
+            if chunk.num_slots != self.num_slots {
+                problems.push(format!(
+                    "{}: chunk meta records {} slots, template has {}",
+                    self.name, chunk.num_slots, self.num_slots
+                ));
+            }
+            if chunk.chunk == 0 {
+                problems.push(format!("{}: chunk size 0", self.name));
             }
         }
         problems
@@ -316,6 +374,10 @@ impl SpProgram {
             t.params.hash(&mut h);
             t.num_slots.hash(&mut h);
             t.code.hash(&mut h);
+            // Chunk metadata changes execution (the driver's in-place
+            // iteration advance), so it is part of structural identity even
+            // when the instruction stream happens to match.
+            t.chunk_meta.hash(&mut h);
         }
         h.finish()
     }
@@ -389,6 +451,7 @@ mod tests {
                 limit_init_instr: 1,
                 test_instr: 2,
             }),
+            chunk_meta: None,
         }
     }
 
@@ -445,6 +508,7 @@ mod tests {
                 },
             ],
             loop_meta: None,
+            chunk_meta: None,
         };
         let mut functions = HashMap::new();
         functions.insert("main".to_string(), SpId(1));
@@ -511,6 +575,7 @@ mod tests {
                 ret: None,
             }],
             loop_meta: None,
+            chunk_meta: None,
         };
         let program = SpProgram::new(
             vec![loop_t, main_t],

@@ -93,6 +93,7 @@ fn placeholder(id: SpId, name: &str) -> SpTemplate {
         slot_names: Vec::new(),
         code: Vec::new(),
         loop_meta: None,
+        chunk_meta: None,
     }
 }
 
@@ -291,6 +292,7 @@ impl TemplateBuilder {
             slot_names: self.slot_names,
             code: self.code,
             loop_meta: self.loop_meta,
+            chunk_meta: None,
         }
     }
 

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use pods::{compile, EngineKind, EngineStats, RunOptions, Runtime, Unit, Value};
+use pods::{compile, ChunkPolicy, EngineKind, EngineStats, RunOptions, Runtime, Unit, Value};
 
 fn main() -> Result<(), pods::PodsError> {
     // The running example of §3 of the paper, slightly enlarged: fill a
@@ -74,6 +74,42 @@ fn main() -> Result<(), pods::PodsError> {
             native_array.written(),
             native_array.values.len(),
             native.wall_us / 1000.0
+        );
+    }
+
+    // Grain-size control: under `ChunkPolicy::Auto` the runtime picks a
+    // chunk size from each template's body at prepare time (grouping that
+    // many consecutive outer iterations into one SP instance), then
+    // re-tunes the cached preparation from the first run's instance
+    // counts — warm re-runs of the same program spawn fewer, coarser
+    // instances. Visible on a fine-grained fill, where at grain 1 every
+    // two-element row pays a full instance spawn.
+    let fine = compile(
+        "def main(n) {
+             a = matrix(n, 2);
+             for i = 0 to n - 1 { for j = 0 to 1 { a[i, j] = i * 3 + j; } }
+             return a;
+         }",
+    )?;
+    for (label, chunk) in [
+        ("grain 1   ", ChunkPolicy::Fixed(1)),
+        ("auto grain", ChunkPolicy::Auto),
+    ] {
+        let tuned = Runtime::builder(EngineKind::Native)
+            .workers(4)
+            .chunk_policy(chunk)
+            .build();
+        tuned.run(&fine, &[Value::Int(64)])?; // cold run; auto retunes the cache
+        let outcome = tuned.run(&fine, &[Value::Int(64)])?;
+        let EngineStats::Native { stats, .. } = outcome.stats else {
+            unreachable!("native runtime reports native stats");
+        };
+        println!(
+            "{label}: {} instances spawned, {:.1} iterations/instance, retuned {}x, {:.3} ms wall-clock",
+            stats.instances_spawned(),
+            stats.iterations_per_instance(),
+            stats.chunks_autotuned,
+            outcome.wall_us / 1000.0
         );
     }
 

@@ -9,7 +9,7 @@
 //! and machine size), which also exercises the persistent native pool on
 //! every workload.
 
-use pods::{EngineKind, RunOptions, Runtime, Value};
+use pods::{ChunkPolicy, EngineKind, RunOptions, Runtime, Value};
 
 /// The workload matrix: name, source, args, and a small machine-size sweep.
 fn workloads() -> Vec<(&'static str, &'static str, Vec<Value>)> {
@@ -60,26 +60,39 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
 
     for kind in engines_under_test() {
         let engine = kind.name();
-        // One runtime per (engine, machine size): the native pool / async
-        // executor is reused across every workload size swept below. Both
-        // pooled engines also run with unbatched (1) and batched (16)
-        // wake-up delivery — the batching must be invisible to results.
+        // One runtime per (engine, machine size, delivery batch, grain):
+        // the native pool / async executor is reused across every workload
+        // size swept below. Both pooled engines also run with unbatched (1)
+        // and batched (16) wake-up delivery — the batching must be invisible
+        // to results — and every engine additionally sweeps the chunk grain
+        // (1 = unchunked, a fixed 4, and the auto-tuned grain) at the
+        // batched delivery, since chunking must be equally invisible.
         let batches: &[usize] = if kind.is_pooled() { &[1, 16] } else { &[16] };
+        let mut configs: Vec<(usize, ChunkPolicy)> = batches
+            .iter()
+            .map(|&b| (b, ChunkPolicy::Fixed(1)))
+            .collect();
+        configs.push((16, ChunkPolicy::Fixed(4)));
+        configs.push((16, ChunkPolicy::Auto));
         for &pes in pe_counts {
-            for &batch in batches {
+            for &(batch, chunk) in &configs {
                 let runtime = Runtime::builder(kind)
                     .workers(pes)
                     .delivery_batch(batch)
+                    .chunk_policy(chunk)
                     .build();
                 let outcome = runtime.run(&program, args).unwrap_or_else(|e| {
-                    panic!("{name}: engine `{engine}` on {pes} PEs (batch {batch}) failed: {e}")
+                    panic!(
+                        "{name}: engine `{engine}` on {pes} PEs \
+                         (batch {batch}, chunk {chunk}) failed: {e}"
+                    )
                 });
 
                 // Return values agree. Array references are compared through
                 // the arrays they denote (allocation *ids* legitimately differ
                 // across engines: the simulator's split-phase allocations can
                 // complete out of program order).
-                let label = format!("{name}/{engine}/{pes}/batch{batch}");
+                let label = format!("{name}/{engine}/{pes}/batch{batch}/chunk{chunk}");
                 match (&oracle.return_value, &outcome.return_value) {
                     (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {
                         let a = oracle.returned_array().expect("oracle returned array");

@@ -394,6 +394,136 @@ fn prepared_handles_reject_mismatched_partition_configs() {
 }
 
 #[test]
+fn prepared_handles_reject_mismatched_chunk_grains() {
+    // The chunk grain is part of the partitioning a handle was prepared
+    // under: a handle chunked at grain 4 must not silently run on a
+    // runtime that promises unchunked (or auto-tuned) instances, and vice
+    // versa — the rewritten SP programs differ.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(16)]);
+    let coarse = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .chunk_size(4)
+        .build();
+    let prepared = coarse.prepare(&program);
+
+    let fine = Runtime::builder(EngineKind::Native).workers(2).build();
+    let err = fine
+        .run(&prepared, &[Value::Int(16)])
+        .expect_err("mismatched chunk grain must be rejected");
+    assert!(
+        matches!(err, pods::PodsError::PreparedMismatch),
+        "unexpected error: {err:?}"
+    );
+    let auto = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .chunk_policy(pods::ChunkPolicy::Auto)
+        .build();
+    assert!(matches!(
+        auto.run(&prepared, &[Value::Int(16)]),
+        Err(pods::PodsError::PreparedMismatch)
+    ));
+
+    // A *matching* grain is engine-portable: the same chunked handle runs
+    // on native, sim, and async runtimes configured for grain 4, matching
+    // the oracle everywhere.
+    for kind in [EngineKind::Native, EngineKind::Sim, EngineKind::AsyncCoop] {
+        let runtime = Runtime::builder(kind).workers(2).chunk_size(4).build();
+        let outcome = runtime.run(&prepared, &[Value::Int(16)]).unwrap();
+        assert_matches_oracle(
+            &format!("chunked handle on {}", kind.name()),
+            &outcome,
+            &oracle,
+        );
+    }
+}
+
+#[test]
+fn auto_grain_retunes_warm_reruns_from_first_run_stats() {
+    // The adaptive half of ChunkPolicy::Auto: the first raw run under an
+    // auto-grain pooled runtime executes at the template-derived grain and
+    // feeds its instance count back into the prepared-program cache, so a
+    // warm re-run of the same program executes at a coarser grain.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(64)]);
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .chunk_policy(pods::ChunkPolicy::Auto)
+        .build();
+
+    let first = runtime.run(&program, &[Value::Int(64)]).unwrap();
+    assert_matches_oracle("auto grain, cold run", &first, &oracle);
+    let s1 = native_stats(&first);
+    assert_eq!(s1.chunks_autotuned, 0, "the cold run uses the seed grain");
+    assert!(
+        s1.iterations_per_instance() > 1.0,
+        "fill's inner loop must actually be chunked: {:.2} iterations/instance",
+        s1.iterations_per_instance()
+    );
+
+    let second = runtime.run(&program, &[Value::Int(64)]).unwrap();
+    assert_matches_oracle("auto grain, warm run", &second, &oracle);
+    let s2 = native_stats(&second);
+    assert!(
+        s2.chunks_autotuned >= 1,
+        "the warm run must use a retuned preparation"
+    );
+    assert!(
+        s2.instances < s1.instances,
+        "retuning must coarsen the grain: {} instances warm vs {} cold",
+        s2.instances,
+        s1.instances
+    );
+    assert!(s2.iterations_per_instance() > s1.iterations_per_instance());
+
+    // A handle prepared (and pinned) before the retune keeps its grain:
+    // explicit preparation is stable, only the cache entry is retuned.
+    let pinned = runtime.prepare(&program);
+    assert!(pinned.chunks_autotuned() >= 1, "prepare follows the cache");
+}
+
+#[test]
+fn auto_grain_keeps_multi_worker_small_runs_competitive() {
+    // The small-n scaling fix from the issue: at sizes where per-instance
+    // overhead used to swamp the win of distribution, a multi-worker
+    // runtime at auto grain must not lose to one worker at grain 1. The
+    // wall-clock assertion needs real cores; below 4 the comparison is
+    // reported but only correctness is checked.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let args = [Value::Int(24)];
+
+    let best = |workers: usize, chunk: pods::ChunkPolicy| -> f64 {
+        let runtime = Runtime::builder(EngineKind::Native)
+            .workers(workers)
+            .chunk_policy(chunk)
+            .build();
+        (0..7)
+            .map(|_| runtime.run(&program, &args).unwrap().wall_us)
+            .fold(f64::MAX, f64::min)
+    };
+
+    let sequential = best(1, pods::ChunkPolicy::Fixed(1));
+    let chunked = best(4, pods::ChunkPolicy::Auto);
+    eprintln!(
+        "fill(24) on {cores}-core host: 1 worker/grain 1 {sequential:.0} us, \
+         4 workers/auto grain {chunked:.0} us ({:.2}x)",
+        sequential / chunked
+    );
+    if cores < 4 || std::env::var("PODS_SKIP_SPEEDUP_ASSERT").is_ok() {
+        return;
+    }
+    assert!(
+        chunked <= sequential * 1.25,
+        "auto grain must keep 4 workers competitive at small n: \
+         {chunked:.0} us vs {sequential:.0} us on 1 worker/grain 1. \
+         On a co-tenanted machine set PODS_SKIP_SPEEDUP_ASSERT=1."
+    );
+}
+
+#[test]
 fn raw_submissions_share_one_cached_preparation() {
     let program = pods::compile(pods_workloads::FILL).unwrap();
     let runtime = Runtime::builder(EngineKind::Native).workers(2).build();

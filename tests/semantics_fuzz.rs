@@ -17,7 +17,8 @@
 //! executing worker thread), and the non-boolean branch error.
 
 use pods::{
-    CompiledProgram, EngineKind, EngineOutcome, PodsError, Runtime, SimulationError, Value,
+    ChunkPolicy, CompiledProgram, EngineKind, EngineOutcome, PodsError, Runtime, SimulationError,
+    Value,
 };
 use proptest::prelude::*;
 use std::sync::LazyLock;
@@ -45,18 +46,30 @@ const EDGES: &[Value] = &[
     Value::Unit,
 ];
 
-/// One long-lived runtime per (engine kind, worker count): the pooled
-/// engines' worker pools are reused across every fuzz case instead of
-/// being spawned per case.
-static RUNTIMES: LazyLock<Vec<(EngineKind, usize, Runtime)>> = LazyLock::new(|| {
+/// One long-lived runtime per (engine kind, worker count, chunk grain):
+/// the pooled engines' worker pools are reused across every fuzz case
+/// instead of being spawned per case. The grain sweep (1 = unchunked, a
+/// fixed 4, auto-tuned) pins the chunk driver — including its chunk-aware
+/// Range-Filter re-evaluation — to the oracle on every adversarial operand.
+static RUNTIMES: LazyLock<Vec<(EngineKind, usize, ChunkPolicy, Runtime)>> = LazyLock::new(|| {
     let mut out = Vec::new();
     for kind in EngineKind::ALL {
         for workers in [1usize, 3] {
-            out.push((
-                kind,
-                workers,
-                Runtime::builder(kind).workers(workers).build(),
-            ));
+            for chunk in [
+                ChunkPolicy::Fixed(1),
+                ChunkPolicy::Fixed(4),
+                ChunkPolicy::Auto,
+            ] {
+                out.push((
+                    kind,
+                    workers,
+                    chunk,
+                    Runtime::builder(kind)
+                        .workers(workers)
+                        .chunk_policy(chunk)
+                        .build(),
+                ));
+            }
         }
     }
     out
@@ -106,13 +119,13 @@ fn cells_agree(a: &Option<Value>, b: &Option<Value>) -> bool {
 fn assert_all_engines_agree(label: &str, program: &CompiledProgram, args: &[Value]) {
     let oracle = ORACLE.run(program, args);
     let oracle_class = classify(&oracle);
-    for (kind, workers, runtime) in RUNTIMES.iter() {
+    for (kind, workers, chunk, runtime) in RUNTIMES.iter() {
         let outcome = runtime.run(program, args);
         let class = classify(&outcome);
         assert_eq!(
             class, oracle_class,
-            "{label}: engine `{kind}` on {workers} workers diverged: {outcome:?} \
-             vs oracle {oracle:?}"
+            "{label}: engine `{kind}` on {workers} workers (chunk {chunk}) diverged: \
+             {outcome:?} vs oracle {oracle:?}"
         );
         let (Ok(outcome), Ok(oracle)) = (&outcome, &oracle) else {
             continue;
@@ -123,27 +136,30 @@ fn assert_all_engines_agree(label: &str, program: &CompiledProgram, args: &[Valu
             (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {}
             (Some(a), Some(b)) => assert!(
                 values_agree(a, b),
-                "{label}: engine `{kind}` on {workers} workers returned {b}, oracle {a}"
+                "{label}: engine `{kind}` on {workers} workers (chunk {chunk}) returned {b}, oracle {a}"
             ),
-            (a, b) => assert_eq!(a, b, "{label}: `{kind}`/{workers}: return presence"),
+            (a, b) => assert_eq!(a, b, "{label}: `{kind}`/{workers}/c{chunk}: return presence"),
         }
         assert_eq!(
             oracle.arrays.len(),
             outcome.arrays.len(),
-            "{label}: `{kind}`/{workers}: array count"
+            "{label}: `{kind}`/{workers}/c{chunk}: array count"
         );
         for expected in &oracle.arrays {
             let got = outcome.array(&expected.name).unwrap_or_else(|| {
                 panic!(
-                    "{label}: `{kind}`/{workers}: array `{}` missing",
+                    "{label}: `{kind}`/{workers}/c{chunk}: array `{}` missing",
                     expected.name
                 )
             });
-            assert_eq!(expected.shape, got.shape, "{label}: `{kind}`/{workers}");
+            assert_eq!(
+                expected.shape, got.shape,
+                "{label}: `{kind}`/{workers}/c{chunk}"
+            );
             for (i, (a, b)) in expected.values.iter().zip(&got.values).enumerate() {
                 assert!(
                     cells_agree(a, b),
-                    "{label}: `{kind}`/{workers}: `{}`[{i}] = {b:?}, oracle {a:?}",
+                    "{label}: `{kind}`/{workers}/c{chunk}: `{}`[{i}] = {b:?}, oracle {a:?}",
                     expected.name
                 );
             }
