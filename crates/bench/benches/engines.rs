@@ -394,6 +394,78 @@ fn bench_engines(c: &mut Criterion) {
         group.finish();
     }
 
+    // service_admission: the job-service layer under load. Two questions:
+    // what does a submission cost when it has to flow through the bounded
+    // admission queue and the dispatcher thread (vs the pre-service direct
+    // pool hand-off, which no longer exists — so the control is the same
+    // path with an idle queue), and what does deficit-round-robin fairness
+    // cost over single-lane FIFO dispatch. Each iteration submits a burst
+    // of jobs and drains it; reported per job.
+    {
+        const BURST: usize = 32;
+        let (workload, n) = ("fill", 16i64);
+        let program = pods::compile(pods_workloads::FILL).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("service_admission_{workload}_{n}"));
+        for mode in ["unbounded", "bounded-64", "fifo-1client", "fair-2clients"] {
+            let mut builder = Runtime::builder(EngineKind::Native)
+                .workers(reuse_workers)
+                .chunk_policy(env_chunk);
+            builder = match mode {
+                // Admission cost at a bound the burst never trips vs none.
+                "unbounded" => builder,
+                "bounded-64" => builder.admission_capacity(64),
+                // Dispatch cost through one saturated slot: one FIFO lane
+                // vs two weighted lanes served deficit-round-robin.
+                "fifo-1client" => builder.dispatch_window(1),
+                _ => builder
+                    .dispatch_window(1)
+                    .client_weight(pods::ClientId(1), 2)
+                    .client_weight(pods::ClientId(2), 1),
+            };
+            let runtime = builder.build();
+            let prepared = runtime.prepare(&program);
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(mode, reuse_workers),
+                &reuse_workers,
+                |b, _| {
+                    b.iter(|| {
+                        let handles: Vec<_> = (0..BURST)
+                            .map(|i| {
+                                if mode == "fair-2clients" {
+                                    runtime
+                                        .submit_for(
+                                            pods::ClientId(1 + (i % 2) as u64),
+                                            &prepared,
+                                            &[Value::Int(n)],
+                                        )
+                                        .expect("bench submit")
+                                } else {
+                                    runtime
+                                        .submit(&prepared, &[Value::Int(n)])
+                                        .expect("bench submit")
+                                }
+                            })
+                            .collect();
+                        for handle in handles {
+                            handle.wait().expect("bench job");
+                        }
+                    });
+                    mean_us = b.mean_ns / 1e3 / BURST as f64;
+                },
+            );
+            let m = runtime.metrics();
+            rows.push_str(&format!(
+                ",\n    {{\"group\": \"service_admission\", \"workload\": \"{workload}\", \
+                 \"n\": {n}, \"engine\": \"{mode}\", \"workers\": {reuse_workers}, \
+                 \"mean_wall_us\": {mean_us:.1}, \"queue_depth_peak\": {}, \
+                 \"p50_latency_us\": {:.1}, \"p99_latency_us\": {:.1}}}",
+                m.queue_depth_peak, m.p50_latency_us, m.p99_latency_us
+            ));
+        }
+        group.finish();
+    }
+
     let out = format!(
         "{{\n  \"bench\": \"engines\",\n  \"host_parallelism\": {host_parallelism},\n  \
          \"points\": [\n{rows}\n  ]\n}}\n"

@@ -50,7 +50,7 @@ pub use error::IStructureError;
 pub use header::{ArrayHeader, ArrayId};
 pub use layout::{ArrayShape, DimRange, Partitioning, Segment};
 pub use memory::{ArrayMemory, ReadOutcome, WriteOutcome};
-pub use shared::{SharedArray, SharedArrayStore, SharedReadResult};
+pub use shared::{SharedArray, SharedArrayStore, SharedReadResult, StoreStats};
 pub use store::{LocalArrayStore, ReadResult};
 pub use value::Value;
 

@@ -35,7 +35,30 @@ use crate::header::{ArrayHeader, ArrayId};
 use crate::layout::{ArrayShape, Partitioning};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Allocation statistics of a [`SharedArrayStore`], maintained with relaxed
+/// atomics so sampling them never contends with the execution hot path.
+///
+/// `live` counts what the store currently holds; `peak` is the high-water
+/// mark over the store's lifetime. Byte figures are *approximate*: each
+/// array is costed as its header plus one locked cell per element
+/// (`size_of::<Mutex<SharedCell<T>>>()`), which tracks the dominant term of
+/// the real footprint but ignores deferred-reader queue growth. Until
+/// array deallocation lands (the GC half of the array-lifecycle roadmap
+/// item), nothing decrements the live counters, so `live == peak`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Arrays currently allocated in the store.
+    pub live_arrays: usize,
+    /// Most arrays ever simultaneously allocated.
+    pub peak_arrays: usize,
+    /// Approximate bytes currently held by allocated arrays.
+    pub live_bytes: usize,
+    /// Approximate high-water mark of `live_bytes`.
+    pub peak_bytes: usize,
+}
 
 /// One write-once element cell with its deferred-reader queue.
 #[derive(Debug)]
@@ -210,6 +233,14 @@ pub struct SharedArrayStore<T> {
     shards: Vec<RwLock<HashMap<ArrayId, Arc<SharedArray<T>>>>>,
     /// Allocation order, so result snapshots match the simulator's.
     order: Mutex<Vec<ArrayId>>,
+    /// Arrays currently allocated (see [`StoreStats`]).
+    live_arrays: AtomicUsize,
+    /// High-water mark of `live_arrays`.
+    peak_arrays: AtomicUsize,
+    /// Approximate bytes currently held by allocated arrays.
+    live_bytes: AtomicUsize,
+    /// High-water mark of `live_bytes`.
+    peak_bytes: AtomicUsize,
 }
 
 impl<T> Default for SharedArrayStore<T> {
@@ -219,6 +250,10 @@ impl<T> Default for SharedArrayStore<T> {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             order: Mutex::new(Vec::new()),
+            live_arrays: AtomicUsize::new(0),
+            peak_arrays: AtomicUsize::new(0),
+            live_bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
         }
     }
 }
@@ -272,7 +307,24 @@ impl<T> SharedArrayStore<T> {
         // ids may interleave freely — whichever push lands first *is* the
         // allocation order).
         self.order.lock().expect("shared store poisoned").push(id);
+        let bytes =
+            std::mem::size_of::<ArrayHeader>() + len * std::mem::size_of::<Mutex<SharedCell<T>>>();
+        let live = self.live_arrays.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_arrays.fetch_max(live, Ordering::Relaxed);
+        let live_bytes = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live_bytes, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Current/peak allocation counters (relaxed-atomic snapshot; safe to
+    /// sample from any thread while jobs run).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            live_arrays: self.live_arrays.load(Ordering::Relaxed),
+            peak_arrays: self.peak_arrays.load(Ordering::Relaxed),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// The array with the given id, if allocated. Read-locks only the
@@ -546,5 +598,46 @@ mod tests {
         }
         assert_eq!(wins.load(Ordering::SeqCst), 1);
         assert!(s.require(ArrayId(0)).unwrap().peek(0).is_some());
+    }
+
+    #[test]
+    fn store_stats_track_allocations() {
+        let s = SharedArrayStore::<usize>::new();
+        assert_eq!(s.stats(), StoreStats::default());
+        s.allocate(
+            ArrayId(0),
+            "a",
+            ArrayShape::vector(4),
+            Partitioning::new(4, 8, 1),
+        )
+        .unwrap();
+        let one = s.stats();
+        assert_eq!(one.live_arrays, 1);
+        assert_eq!(one.peak_arrays, 1);
+        assert!(one.live_bytes >= 4 * std::mem::size_of::<Value>());
+        assert_eq!(one.live_bytes, one.peak_bytes);
+        s.allocate(
+            ArrayId(1),
+            "b",
+            ArrayShape::matrix(8, 8),
+            Partitioning::new(64, 8, 2),
+        )
+        .unwrap();
+        let two = s.stats();
+        assert_eq!(two.live_arrays, 2);
+        assert_eq!(two.peak_arrays, 2);
+        assert!(two.live_bytes > one.live_bytes);
+        // No deallocation yet: live always equals peak.
+        assert_eq!(two.live_bytes, two.peak_bytes);
+        // Failed allocations leave the counters untouched.
+        assert!(s
+            .allocate(
+                ArrayId(1),
+                "dup",
+                ArrayShape::vector(1),
+                Partitioning::new(1, 8, 1)
+            )
+            .is_err());
+        assert_eq!(s.stats(), two);
     }
 }

@@ -20,7 +20,7 @@
 
 use super::task::{AsyncWaiter, Frame, TaskHandle};
 use super::AsyncStats;
-use crate::engine::native::{JobSpec, NEXT_POOL_ID};
+use crate::engine::native::{JobNotifier, JobSpec, NEXT_POOL_ID};
 use crate::engine::{
     cancellation_error, EngineOutcome, EngineStats, InstanceArena, JobCounts, ReadSlots,
 };
@@ -99,25 +99,53 @@ pub(crate) struct AsyncJob {
     chunk_iterations: AtomicU64,
     /// Adaptive-grain retunes applied before this job (see [`JobSpec`]).
     chunks_autotuned: u64,
+    /// Completion hook (see [`JobSpec::on_done`]); fired exactly once, by
+    /// whichever of normal completion / failure / cancellation wins.
+    on_done: Option<JobNotifier>,
+    /// First-wins claim on the terminal transition, separate from `done` so
+    /// the hook can run *before* `done` is published (waiters must never
+    /// observe a finished job whose hook has not fired yet).
+    finished: AtomicBool,
 }
 
 impl AsyncJob {
-    /// Records the first error and stops the job (not the pool).
+    /// Records the error and stops the job (not the pool). A no-op if the
+    /// job already finished: the first of normal completion / failure /
+    /// cancellation wins, so a cancel racing a finished job can neither
+    /// clobber its result nor re-fire the completion hook.
     fn fail(&self, err: SimulationError) {
-        {
-            let mut slot = self.error.lock().expect("error poisoned");
-            if slot.is_none() {
-                *slot = Some(err);
-            }
-        }
         self.stop.store(true, Ordering::SeqCst);
-        self.complete();
+        self.finish(Some(err));
     }
 
     /// Marks the job finished and wakes every `wait`er.
     fn complete(&self) {
+        self.finish(None);
+    }
+
+    /// The single completion point (mirrors the native pool's `Job::finish`):
+    /// claims the terminal transition exactly once, records the error,
+    /// fires the `on_done` hook, and only then publishes `done` and wakes
+    /// every `wait`er — so a waiter never observes a finished job whose
+    /// metrics have not landed yet.
+    fn finish(&self, err: Option<SimulationError>) {
+        // First caller wins; a cancel racing normal completion is dropped.
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(e) = err {
+            *self.error.lock().expect("error poisoned") = Some(e);
+        }
+        // No locks are held here, so the hook may take the service locks.
+        if let Some(hook) = &self.on_done {
+            hook(self.store.stats());
+        }
         *self.done.lock().expect("done poisoned") = true;
         self.done_cv.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().expect("done poisoned")
     }
 
     fn stats(&self) -> AsyncStats {
@@ -135,6 +163,7 @@ impl AsyncJob {
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
             chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
             chunks_autotuned: self.chunks_autotuned,
+            store: self.store.stats(),
         }
     }
 }
@@ -723,6 +752,7 @@ impl AsyncPool {
             max_tasks,
             delivery_batch,
             chunks_autotuned,
+            on_done,
         } = spec;
         let entry_template = program.entry();
         let job = Arc::new(AsyncJob {
@@ -754,6 +784,8 @@ impl AsyncPool {
             arena_reuses: AtomicU64::new(0),
             chunk_iterations: AtomicU64::new(0),
             chunks_autotuned,
+            on_done,
+            finished: AtomicBool::new(false),
         });
         let home = (seq as usize - 1) % self.shared.workers;
         // Submission happens off the worker threads, so the entry frame
@@ -800,7 +832,15 @@ pub(crate) struct AsyncJobHandle {
 impl AsyncJobHandle {
     /// Whether the job has already completed (successfully or not).
     pub(crate) fn is_done(&self) -> bool {
-        *self.job.done.lock().expect("done poisoned")
+        self.job.is_done()
+    }
+
+    /// A detachable cancel token for this job, usable while (or after)
+    /// `wait` consumes the handle.
+    pub(crate) fn canceller(&self) -> AsyncCanceller {
+        AsyncCanceller {
+            job: Arc::clone(&self.job),
+        }
     }
 
     /// Blocks until the job completes and returns its outcome.
@@ -838,5 +878,25 @@ impl AsyncJobHandle {
                 partition: self.partition,
             },
         })
+    }
+}
+
+/// Cancel token for one cooperative job: stops the job at its next
+/// instruction boundary with the supplied error, through the same stop-flag
+/// path that pool teardown uses. A no-op if the job already finished.
+#[derive(Clone)]
+pub(crate) struct AsyncCanceller {
+    job: Arc<AsyncJob>,
+}
+
+impl AsyncCanceller {
+    /// Whether the job has already completed (successfully or not).
+    pub(crate) fn is_done(&self) -> bool {
+        self.job.is_done()
+    }
+
+    /// Stops the job with `err` unless it already finished.
+    pub(crate) fn cancel(&self, err: SimulationError) {
+        self.job.fail(err);
     }
 }

@@ -51,13 +51,13 @@
 mod executor;
 mod task;
 
-pub(crate) use executor::{AsyncJobHandle, AsyncPool};
+pub(crate) use executor::{AsyncCanceller, AsyncJobHandle, AsyncPool};
 
 use super::{check_invocation, Engine, EngineOutcome};
 use crate::engine::native::JobSpec;
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
-use pods_istructure::Value;
+use pods_istructure::{StoreStats, Value};
 use std::time::Instant;
 
 /// Executes the partitioned SP program on a cooperative executor with
@@ -117,6 +117,9 @@ pub struct AsyncStats {
     /// Chunk-size retunes applied by [`crate::Runtime`]'s adaptive grain
     /// control before this job ran (0 on first runs and fixed policies).
     pub chunks_autotuned: u64,
+    /// Allocation counters of this job's I-structure store (live/peak
+    /// arrays and approximate bytes).
+    pub store: StoreStats,
 }
 
 impl AsyncStats {

@@ -57,9 +57,11 @@ mod pr;
 mod seq;
 mod sim;
 
+pub(crate) use async_coop::{AsyncCanceller, AsyncJobHandle, AsyncPool};
 pub use async_coop::{AsyncCoopEngine, AsyncStats};
-pub(crate) use async_coop::{AsyncJobHandle, AsyncPool};
-pub(crate) use native::{build_read_slots, JobSpec, NativeJobHandle, NativePool, ReadSlots};
+pub(crate) use native::{
+    build_read_slots, JobSpec, NativeCanceller, NativeJobHandle, NativePool, ReadSlots,
+};
 pub use native::{NativeParallelEngine, NativeStats};
 pub use pr::PrEstimateEngine;
 pub use seq::SequentialEngine;

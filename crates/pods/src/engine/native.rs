@@ -74,7 +74,7 @@ use super::{
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use pods_istructure::{
-    ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value,
+    ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, StoreStats, Value,
 };
 use pods_machine::{ArraySnapshot, InstanceId, SimulationError};
 use pods_partition::PartitionReport;
@@ -143,6 +143,9 @@ pub struct NativeStats {
     /// control before this job ran (0 on the first run of a program and
     /// whenever the chunk policy is fixed).
     pub chunks_autotuned: u64,
+    /// Allocation counters of this job's I-structure store (live/peak
+    /// arrays and approximate bytes).
+    pub store: StoreStats,
 }
 
 impl NativeStats {
@@ -230,7 +233,17 @@ pub(crate) struct JobSpec {
     /// with a larger chunk before this submission (reported in the stats;
     /// 0 for cold runs and fixed chunk policies).
     pub chunks_autotuned: u64,
+    /// Completion hook: fired exactly once when the job finishes (success,
+    /// failure, or cancellation), with the final allocation statistics of
+    /// the job's I-structure store. Installed by the `Runtime`'s service
+    /// layer to drive its metrics and dispatch window; `None` on the cold
+    /// `Engine`-trait path.
+    pub on_done: Option<JobNotifier>,
 }
+
+/// The completion callback a [`JobSpec`] can carry (see
+/// [`JobSpec::on_done`]). Shared by both pooled schedulers.
+pub(crate) type JobNotifier = Arc<dyn Fn(StoreStats) + Send + Sync>;
 
 impl JobSpec {
     /// The cold-path constructor: partitions the program and builds the
@@ -248,6 +261,7 @@ impl JobSpec {
             max_tasks: opts.max_events,
             delivery_batch: opts.delivery_batch.max(1),
             chunks_autotuned: 0,
+            on_done: None,
         }
     }
 }
@@ -310,6 +324,13 @@ struct Job {
     delivery_batch: usize,
     /// Adaptive-grain retunes applied before this job (see [`JobSpec`]).
     chunks_autotuned: u64,
+    /// Completion hook (see [`JobSpec::on_done`]); fired exactly once, by
+    /// whichever of normal completion / failure / cancellation wins.
+    on_done: Option<JobNotifier>,
+    /// First-wins claim on the terminal transition, separate from `done` so
+    /// the hook can run *before* `done` is published (waiters must never
+    /// observe a finished job whose hook has not fired yet).
+    finished: AtomicBool,
     next_instance: AtomicU64,
     next_array: AtomicUsize,
     tasks: AtomicU64,
@@ -322,22 +343,44 @@ struct Job {
 }
 
 impl Job {
-    /// Records the first error and stops the job (not the pool).
+    /// Records the error and stops the job (not the pool). A no-op if the
+    /// job already finished: the first of normal completion / failure /
+    /// cancellation wins, so a cancel racing a finished job can neither
+    /// clobber its result nor re-fire the completion hook.
     fn fail(&self, err: SimulationError) {
-        {
-            let mut slot = self.error.lock().expect("error poisoned");
-            if slot.is_none() {
-                *slot = Some(err);
-            }
-        }
         self.stop.store(true, Ordering::SeqCst);
-        self.complete();
+        self.finish(Some(err));
     }
 
     /// Marks the job finished and wakes every `wait`er.
     fn complete(&self) {
+        self.finish(None);
+    }
+
+    /// The single completion point: flips `done` exactly once, records the
+    /// error (if any) while still holding the `done` lock (so `wait`, which
+    /// reads the error only after observing `done`, sees it), then — with
+    /// no locks held — wakes waiters and fires the `on_done` hook.
+    fn finish(&self, err: Option<SimulationError>) {
+        // First caller wins; a cancel racing normal completion is dropped.
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(e) = err {
+            *self.error.lock().expect("error poisoned") = Some(e);
+        }
+        // The hook runs before `done` is published: once a waiter observes
+        // completion, the service metrics already include this job. No
+        // locks are held here, so the hook may take the service locks.
+        if let Some(hook) = &self.on_done {
+            hook(self.store.stats());
+        }
         *self.done.lock().expect("done poisoned") = true;
         self.done_cv.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        *self.done.lock().expect("done poisoned")
     }
 
     fn stats(&self) -> NativeStats {
@@ -354,6 +397,7 @@ impl Job {
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
             chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
             chunks_autotuned: self.chunks_autotuned,
+            store: self.store.stats(),
         }
     }
 }
@@ -957,6 +1001,7 @@ impl NativePool {
             max_tasks,
             delivery_batch,
             chunks_autotuned,
+            on_done,
         } = spec;
         let entry_template = program.entry();
         let job = Arc::new(Job {
@@ -978,6 +1023,8 @@ impl NativePool {
             max_tasks,
             delivery_batch: delivery_batch.max(1),
             chunks_autotuned,
+            on_done,
+            finished: AtomicBool::new(false),
             next_instance: AtomicU64::new(0),
             next_array: AtomicUsize::new(0),
             tasks: AtomicU64::new(0),
@@ -1033,7 +1080,15 @@ pub(crate) struct NativeJobHandle {
 impl NativeJobHandle {
     /// Whether the job has already completed (successfully or not).
     pub(crate) fn is_done(&self) -> bool {
-        *self.job.done.lock().expect("done poisoned")
+        self.job.is_done()
+    }
+
+    /// A detachable cancel token for this job, usable while (or after)
+    /// `wait` consumes the handle.
+    pub(crate) fn canceller(&self) -> NativeCanceller {
+        NativeCanceller {
+            job: Arc::clone(&self.job),
+        }
     }
 
     /// Blocks until the job completes and returns its outcome.
@@ -1071,6 +1126,26 @@ impl NativeJobHandle {
                 partition: self.partition,
             },
         })
+    }
+}
+
+/// Cancel token for one native job: stops the job at its next instruction
+/// boundary with the supplied error, through the same stop-flag path that
+/// pool teardown uses. A no-op if the job already finished.
+#[derive(Clone)]
+pub(crate) struct NativeCanceller {
+    job: Arc<Job>,
+}
+
+impl NativeCanceller {
+    /// Whether the job has already completed (successfully or not).
+    pub(crate) fn is_done(&self) -> bool {
+        self.job.is_done()
+    }
+
+    /// Stops the job with `err` unless it already finished.
+    pub(crate) fn cancel(&self, err: SimulationError) {
+        self.job.fail(err);
     }
 }
 

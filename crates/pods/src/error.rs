@@ -40,6 +40,31 @@ pub enum PodsError {
         /// Arguments supplied to the run.
         got: usize,
     },
+    /// The runtime's bounded admission queue was full when the job arrived.
+    ///
+    /// Returned by `Runtime::try_submit` immediately and by
+    /// `Runtime::submit_timeout` once the timeout elapses without a slot
+    /// freeing up. Only runtimes built with a non-zero
+    /// `RuntimeBuilder::admission_capacity` ever produce it. The rejected
+    /// job never entered the queue; resubmit later or use the blocking
+    /// `Runtime::submit` to wait for space.
+    QueueFull {
+        /// The configured admission capacity the queue was at.
+        capacity: usize,
+        /// Jobs queued (not yet dispatched to the pool) at rejection time.
+        depth: usize,
+    },
+    /// The job outlived the deadline configured via
+    /// `RuntimeBuilder::deadline` and was cancelled.
+    ///
+    /// A queued job past its deadline is cancelled before ever reaching the
+    /// pool; a running job is stopped at its next instruction boundary via
+    /// the same stop-flag machinery that drop-cancellation uses. Either way
+    /// `JobHandle::wait` surfaces this variant instead of hanging.
+    DeadlineExceeded {
+        /// The deadline the job was admitted under.
+        deadline: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for PodsError {
@@ -72,6 +97,17 @@ impl std::fmt::Display for PodsError {
             PodsError::ArgumentMismatch { expected, got } => write!(
                 f,
                 "`main` takes {expected} argument(s) but {got} were supplied"
+            ),
+            PodsError::QueueFull { capacity, depth } => write!(
+                f,
+                "admission queue is full: {depth} job(s) waiting at capacity \
+                 {capacity}; retry later, use the blocking `submit`, or raise \
+                 `RuntimeBuilder::admission_capacity`"
+            ),
+            PodsError::DeadlineExceeded { deadline } => write!(
+                f,
+                "job cancelled: deadline of {deadline:?} exceeded before the \
+                 job completed"
             ),
         }
     }
@@ -121,10 +157,40 @@ mod tests {
                 name: "warp".into(),
             },
             PodsError::PreparedMismatch,
+            PodsError::QueueFull {
+                capacity: 8,
+                depth: 8,
+            },
+            PodsError::DeadlineExceeded {
+                deadline: std::time::Duration::from_millis(250),
+            },
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn queue_full_display_round_trips_its_fields() {
+        let e = PodsError::QueueFull {
+            capacity: 32,
+            depth: 17,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("17"), "depth missing from: {msg}");
+        assert!(msg.contains("32"), "capacity missing from: {msg}");
+        assert!(msg.contains("admission queue"), "context missing: {msg}");
+    }
+
+    #[test]
+    fn deadline_exceeded_display_round_trips_the_deadline() {
+        let e = PodsError::DeadlineExceeded {
+            deadline: std::time::Duration::from_millis(250),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("250ms"), "deadline missing from: {msg}");
+        // Drop-cancellation tests and callers match on "cancelled".
+        assert!(msg.contains("cancelled"), "cancel marker missing: {msg}");
     }
 
     #[test]

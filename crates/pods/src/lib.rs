@@ -60,6 +60,7 @@ mod error;
 mod pipeline;
 pub mod report;
 mod runtime;
+mod service;
 
 pub use engine::{
     engine_by_name, AsyncCoopEngine, AsyncStats, Engine, EngineKind, EngineOutcome, EngineStats,
@@ -71,11 +72,12 @@ pub use pipeline::{
     speedup_sweep_with, CompiledProgram, RunOptions, RunOutcome, SpeedupPoint,
 };
 pub use runtime::{JobHandle, PreparedProgram, ProgramSource, Runtime, RuntimeBuilder};
+pub use service::{ClientId, ServiceMetrics};
 
 // Re-export the pieces a downstream user needs to drive runs and interpret
 // results without depending on every sub-crate explicitly.
 pub use pods_baseline::{BaselineError, PrModel, PrPoint, SequentialRun};
-pub use pods_istructure::{ArrayId, ArrayShape, SharedArrayStore, Value};
+pub use pods_istructure::{ArrayId, ArrayShape, SharedArrayStore, StoreStats, Value};
 pub use pods_machine::{
     ArraySnapshot, MachineConfig, SimulationError, SimulationResult, SimulationStats, TimingModel,
     Unit,

@@ -44,6 +44,14 @@ pub struct RunOptions {
     /// never delays a wake-up past the point where the scheduler could
     /// mistake the job for idle. Ignored by the modelled engines.
     pub delivery_batch: usize,
+    /// Pooled engines only: wall-clock budget per job, measured from
+    /// submission. A job still queued when its deadline passes is cancelled
+    /// before dispatch; a running job is stopped at its next instruction
+    /// boundary. Either way `JobHandle::wait` reports
+    /// [`PodsError::DeadlineExceeded`]. `None` (the default) means no
+    /// deadline. The modelled engines run eagerly inside `submit` and
+    /// ignore it.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for RunOptions {
@@ -55,6 +63,7 @@ impl Default for RunOptions {
             partition: PartitionConfig::default(),
             max_events: 0,
             delivery_batch: 16,
+            deadline: None,
         }
     }
 }

@@ -57,15 +57,20 @@
 //! match the preparing runtime's.
 
 use crate::engine::{
-    build_read_slots, check_invocation, AsyncJobHandle, AsyncPool, EngineKind, EngineOutcome,
-    EngineStats, JobSpec, NativeJobHandle, NativePool, ReadSlots,
+    build_read_slots, check_invocation, AsyncPool, EngineKind, EngineOutcome, EngineStats, JobSpec,
+    NativePool, ReadSlots,
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
+use crate::service::metrics::MetricsRegistry;
+use crate::service::queue::{CancelKind, Ticket};
+use crate::service::{Admission, ClientId, JobService, PoolHandle, ServiceInner, ServiceMetrics};
 use pods_istructure::Value;
 use pods_partition::{ChunkPolicy, PartitionConfig, PartitionReport};
 use pods_sp::SpProgram;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configures and builds a [`Runtime`].
 ///
@@ -78,6 +83,9 @@ pub struct RuntimeBuilder {
     kind: EngineKind,
     opts: RunOptions,
     prepared_cache: usize,
+    admission_capacity: usize,
+    dispatch_window: Option<usize>,
+    client_weights: HashMap<ClientId, u32>,
 }
 
 /// Default capacity of the runtime's prepared-program LRU cache.
@@ -101,6 +109,9 @@ impl RuntimeBuilder {
             kind,
             opts: RunOptions::with_pes(workers),
             prepared_cache: DEFAULT_PREPARED_CACHE,
+            admission_capacity: 0,
+            dispatch_window: None,
+            client_weights: HashMap::new(),
         }
     }
 
@@ -177,6 +188,48 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Bounds the admission queue of the pooled runtimes at `jobs` queued
+    /// submissions (default `0` = unbounded). At capacity,
+    /// [`Runtime::try_submit`] rejects immediately with
+    /// [`PodsError::QueueFull`], [`Runtime::submit_timeout`] blocks up to
+    /// its timeout, and plain [`Runtime::submit`] blocks until a slot
+    /// frees — bounded admission is how a shared runtime pushes back on
+    /// producers instead of buffering without limit. Modelled engines run
+    /// jobs eagerly and never queue.
+    pub fn admission_capacity(mut self, jobs: usize) -> Self {
+        self.admission_capacity = jobs;
+        self
+    }
+
+    /// Maximum jobs dispatched to the worker pool concurrently (clamped to
+    /// at least 1; default = the worker count). Jobs beyond the window wait
+    /// in the admission queue, where per-client fairness is enforced — a
+    /// narrower window trades pool concurrency for stricter fairness and
+    /// lower per-job interference.
+    pub fn dispatch_window(mut self, jobs: usize) -> Self {
+        self.dispatch_window = Some(jobs.max(1));
+        self
+    }
+
+    /// Default deadline for every job submitted to this runtime (pooled
+    /// engines only). Shorthand for setting [`RunOptions::deadline`]; see
+    /// there for the exact semantics.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a client's fair-share weight (default 1, clamped to at least
+    /// 1): when the admission queue holds jobs from several clients, the
+    /// dispatcher serves them deficit-round-robin, `weight` jobs per visit,
+    /// so a weight-2 client receives ~2x the dispatch rate of a weight-1
+    /// client while both have work queued. Tag submissions with
+    /// [`Runtime::submit_for`] (and friends) to attribute them to a client.
+    pub fn client_weight(mut self, client: ClientId, weight: u32) -> Self {
+        self.client_weights.insert(client, weight.max(1));
+        self
+    }
+
     /// Replaces the whole option block at once (for callers that already
     /// hold a [`RunOptions`], e.g. the compatibility wrappers).
     pub fn options(mut self, opts: RunOptions) -> Self {
@@ -188,10 +241,24 @@ impl RuntimeBuilder {
     /// [`EngineKind::AsyncCoop`]) this spawns the persistent worker pool
     /// immediately, so the first `run` is already warm.
     pub fn build(self) -> Runtime {
-        let backend = match self.kind {
+        let backend = Arc::new(match self.kind {
             EngineKind::Native => Backend::Native(NativePool::new(self.opts.num_pes)),
             EngineKind::AsyncCoop => Backend::Async(AsyncPool::new(self.opts.num_pes)),
             _ => Backend::Modelled,
+        });
+        let metrics = Arc::new(MetricsRegistry::new(self.admission_capacity));
+        let window = self.dispatch_window.unwrap_or(self.opts.num_pes).max(1);
+        let service = if self.kind.is_pooled() {
+            Some(JobService::start(
+                Arc::downgrade(&backend),
+                self.opts.clone(),
+                self.admission_capacity,
+                window,
+                self.client_weights,
+                Arc::clone(&metrics),
+            ))
+        } else {
+            None
         };
         Runtime {
             kind: self.kind,
@@ -199,6 +266,8 @@ impl RuntimeBuilder {
             backend,
             prepared: Mutex::new(Vec::new()),
             prepared_cap: self.prepared_cache,
+            metrics,
+            service,
         }
     }
 }
@@ -218,15 +287,34 @@ impl RuntimeBuilder {
 pub struct Runtime {
     kind: EngineKind,
     opts: RunOptions,
-    backend: Backend,
+    /// The strong owner of the pool. The job service holds only a `Weak`
+    /// reference (completion hooks keep the service alive, and a strong
+    /// backend reference there would keep the pool alive in a cycle).
+    backend: Arc<Backend>,
     /// LRU cache of auto-prepared programs, most recently used last, keyed
     /// by [`CompiledProgram::identity`].
     prepared: Mutex<Vec<PreparedProgram>>,
     prepared_cap: usize,
+    /// Service counters; shared with the dispatcher and completion hooks.
+    metrics: Arc<MetricsRegistry>,
+    /// The admission/fairness/deadline layer — `Some` exactly for the
+    /// pooled engine kinds.
+    service: Option<JobService>,
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Drain the service first (cancels queued jobs, joins the
+        // dispatcher); the pool itself is torn down when `backend` — the
+        // only strong reference — drops with the remaining fields.
+        if let Some(service) = &mut self.service {
+            service.shutdown();
+        }
+    }
 }
 
 /// The execution machinery a runtime owns, per engine kind.
-enum Backend {
+pub(crate) enum Backend {
     /// The modelled engines (`sim`, `seq`, `pr`) run eagerly on the
     /// calling thread; there is nothing to keep warm.
     Modelled,
@@ -234,6 +322,17 @@ enum Backend {
     Native(NativePool),
     /// The cooperative executor (futures-style task suspension).
     Async(AsyncPool),
+}
+
+impl Backend {
+    /// Hands one job to the pooled backend (dispatcher-only path).
+    pub(crate) fn submit_pooled(&self, spec: JobSpec, args: &[Value]) -> PoolHandle {
+        match self {
+            Backend::Native(pool) => PoolHandle::Native(pool.submit(spec, args)),
+            Backend::Async(pool) => PoolHandle::Async(pool.submit(spec, args)),
+            Backend::Modelled => unreachable!("modelled backends take no pooled jobs"),
+        }
+    }
 }
 
 impl std::fmt::Debug for Runtime {
@@ -285,7 +384,7 @@ impl Runtime {
     /// [`crate::NativeStats::pool_id`] / [`crate::AsyncStats::pool_id`] to
     /// verify reuse.
     pub fn pool_id(&self) -> Option<u64> {
-        match &self.backend {
+        match &*self.backend {
             Backend::Modelled => None,
             Backend::Native(pool) => Some(pool.id()),
             Backend::Async(pool) => Some(pool.id()),
@@ -460,36 +559,137 @@ impl Runtime {
     /// for malformed invocations and [`PodsError::PreparedMismatch`] for a
     /// prepared program whose partitioner configuration differs from this
     /// runtime's; run-time failures surface at [`JobHandle::wait`].
+    ///
+    /// With a bounded [`RuntimeBuilder::admission_capacity`], `submit`
+    /// blocks while the admission queue is full; see
+    /// [`Runtime::try_submit`] and [`Runtime::submit_timeout`] for the
+    /// non-blocking and bounded-wait forms.
     pub fn submit<P: ProgramSource>(
         &self,
         program: P,
         args: &[Value],
     ) -> Result<JobHandle, PodsError> {
+        self.submit_inner(ClientId::ANONYMOUS, program, args, Admission::Wait)
+    }
+
+    /// [`Runtime::submit`], attributing the job to `client` for per-client
+    /// fair scheduling and metrics (see [`RuntimeBuilder::client_weight`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit`].
+    pub fn submit_for<P: ProgramSource>(
+        &self,
+        client: ClientId,
+        program: P,
+        args: &[Value],
+    ) -> Result<JobHandle, PodsError> {
+        self.submit_inner(client, program, args, Admission::Wait)
+    }
+
+    /// Non-blocking submission: like [`Runtime::submit`], but if the
+    /// admission queue is at capacity the job is rejected immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PodsError::QueueFull`] when the admission queue is at capacity
+    /// (the rejection is counted in [`ServiceMetrics::rejected`]), plus
+    /// everything [`Runtime::submit`] returns.
+    pub fn try_submit<P: ProgramSource>(
+        &self,
+        program: P,
+        args: &[Value],
+    ) -> Result<JobHandle, PodsError> {
+        self.submit_inner(ClientId::ANONYMOUS, program, args, Admission::Try)
+    }
+
+    /// [`Runtime::try_submit`] attributed to `client`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::try_submit`].
+    pub fn try_submit_for<P: ProgramSource>(
+        &self,
+        client: ClientId,
+        program: P,
+        args: &[Value],
+    ) -> Result<JobHandle, PodsError> {
+        self.submit_inner(client, program, args, Admission::Try)
+    }
+
+    /// Bounded-wait submission: like [`Runtime::submit`], but blocks at
+    /// most `timeout` for an admission slot before rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`PodsError::QueueFull`] when no slot freed within `timeout`, plus
+    /// everything [`Runtime::submit`] returns.
+    pub fn submit_timeout<P: ProgramSource>(
+        &self,
+        program: P,
+        args: &[Value],
+        timeout: Duration,
+    ) -> Result<JobHandle, PodsError> {
+        let limit = Instant::now() + timeout;
+        self.submit_inner(ClientId::ANONYMOUS, program, args, Admission::Until(limit))
+    }
+
+    /// [`Runtime::submit_timeout`] attributed to `client`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::submit_timeout`].
+    pub fn submit_timeout_for<P: ProgramSource>(
+        &self,
+        client: ClientId,
+        program: P,
+        args: &[Value],
+        timeout: Duration,
+    ) -> Result<JobHandle, PodsError> {
+        let limit = Instant::now() + timeout;
+        self.submit_inner(client, program, args, Admission::Until(limit))
+    }
+
+    /// A point-in-time snapshot of this runtime's service counters: queue
+    /// depth and peak, submitted/completed/rejected/cancelled totals,
+    /// throughput, latency percentiles, per-client completions, and
+    /// I-structure store peaks. Cheap (atomic loads plus one small map
+    /// copy) — safe to poll.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics.snapshot()
+    }
+
+    fn submit_inner<P: ProgramSource>(
+        &self,
+        client: ClientId,
+        program: P,
+        args: &[Value],
+        mode: Admission,
+    ) -> Result<JobHandle, PodsError> {
         check_invocation(program.compiled(), args)?;
         program.check_compatible(self)?;
-        match &self.backend {
-            Backend::Native(pool) => {
-                let prepared = program.prepared(self)?;
-                let handle = pool.submit(prepared.job_spec(&self.opts), args);
-                Ok(JobHandle {
-                    inner: JobInner::Native(handle),
-                })
-            }
-            Backend::Async(pool) => {
-                let prepared = program.prepared(self)?;
-                let handle = pool.submit(prepared.job_spec(&self.opts), args);
-                Ok(JobHandle {
-                    inner: JobInner::Async(handle),
-                })
-            }
-            Backend::Modelled => Ok(JobHandle {
-                inner: JobInner::Ready(Box::new(self.kind.engine().run(
-                    program.compiled(),
-                    args,
-                    &self.opts,
-                ))),
-            }),
+        if let Some(service) = &self.service {
+            let prepared = program.prepared(self)?;
+            let ticket = service
+                .inner
+                .submit(client, prepared, args.to_vec(), mode)?;
+            return Ok(JobHandle {
+                inner: JobInner::Service {
+                    svc: Arc::clone(&service.inner),
+                    ticket,
+                },
+            });
         }
+        // Modelled engines run eagerly on the calling thread (they are
+        // single-threaded models; there is no pool to queue against), so
+        // the job is complete — and counted — before `submit` returns.
+        self.metrics.note_submitted();
+        let started = Instant::now();
+        let outcome = self.kind.engine().run(program.compiled(), args, &self.opts);
+        self.metrics.note_completed(client, started.elapsed());
+        Ok(JobHandle {
+            inner: JobInner::Ready(Box::new(outcome)),
+        })
     }
 
     /// Runs a batch of jobs — `(program, args)` pairs — and returns their
@@ -585,9 +785,10 @@ impl PreparedProgram {
         self.inner.autotuned
     }
 
-    /// The per-job spec handed to the native pool: `Arc` bumps plus a
-    /// partition-report clone, no program work.
-    fn job_spec(&self, opts: &RunOptions) -> JobSpec {
+    /// The per-job spec handed to the pooled backends: `Arc` bumps plus a
+    /// partition-report clone, no program work. The service attaches its
+    /// completion hook before submission.
+    pub(crate) fn job_spec(&self, opts: &RunOptions) -> JobSpec {
         JobSpec {
             program: Arc::clone(&self.inner.sp),
             read_slots: Arc::clone(&self.inner.read_slots),
@@ -596,6 +797,7 @@ impl PreparedProgram {
             max_tasks: opts.max_events,
             delivery_batch: opts.delivery_batch.max(1),
             chunks_autotuned: self.inner.autotuned,
+            on_done: None,
         }
     }
 }
@@ -689,13 +891,22 @@ impl ProgramSource for &PreparedProgram {
 enum JobInner {
     /// The outcome is already available (modelled engines run eagerly).
     Ready(Box<Result<EngineOutcome, PodsError>>),
-    /// A native job in flight on the pool.
-    Native(NativeJobHandle),
-    /// A cooperative job in flight on the async executor.
-    Async(AsyncJobHandle),
+    /// A job admitted to a pooled runtime's service: its ticket tracks it
+    /// from the admission queue through dispatch to completion.
+    Service {
+        svc: Arc<ServiceInner>,
+        ticket: Arc<Ticket>,
+    },
 }
 
 /// A handle to one submitted job on a [`Runtime`].
+///
+/// The handle is detachable: dropping it without calling [`wait`] does
+/// **not** cancel the job — it still runs to completion (or its deadline)
+/// and is counted in [`ServiceMetrics`]; only its outcome is discarded.
+/// Use [`JobHandle::cancel`] to actually stop a job.
+///
+/// [`wait`]: JobHandle::wait
 pub struct JobHandle {
     inner: JobInner,
 }
@@ -706,8 +917,21 @@ impl JobHandle {
     pub fn is_done(&self) -> bool {
         match &self.inner {
             JobInner::Ready(_) => true,
-            JobInner::Native(handle) => handle.is_done(),
-            JobInner::Async(handle) => handle.is_done(),
+            JobInner::Service { ticket, .. } => ticket.is_done(),
+        }
+    }
+
+    /// Requests cancellation of the job. A job still in the admission
+    /// queue is cancelled outright (it never reaches the pool); a job
+    /// already executing is stopped at its next instruction boundary. A
+    /// job that already finished is unaffected. In both cancelled cases
+    /// [`JobHandle::wait`] reports a cancellation error and the job counts
+    /// toward [`ServiceMetrics::cancelled`].
+    ///
+    /// A no-op on modelled runtimes, whose jobs complete inside `submit`.
+    pub fn cancel(&self) {
+        if let JobInner::Service { svc, ticket } = &self.inner {
+            svc.cancel(ticket);
         }
     }
 
@@ -716,12 +940,28 @@ impl JobHandle {
     /// # Errors
     ///
     /// Returns whatever the engine reported for this job — errors are
-    /// job-scoped and never poison the pool or other jobs.
+    /// job-scoped and never poison the pool or other jobs. A job cut short
+    /// by [`RunOptions::deadline`] reports
+    /// [`PodsError::DeadlineExceeded`]; one stopped by
+    /// [`JobHandle::cancel`] or a runtime drop reports a cancellation
+    /// error.
     pub fn wait(self) -> Result<EngineOutcome, PodsError> {
         match self.inner {
             JobInner::Ready(outcome) => *outcome,
-            JobInner::Native(handle) => handle.wait(),
-            JobInner::Async(handle) => handle.wait(),
+            JobInner::Service { ticket, .. } => {
+                let outcome = match ticket.claim() {
+                    Ok(handle) => handle.wait(),
+                    Err(err) => Err(err),
+                };
+                // A deadline cancellation surfaces from the engine as a
+                // generic stop; report it as the typed error instead.
+                if outcome.is_err() && ticket.cancel_kind() == Some(CancelKind::Deadline) {
+                    return Err(PodsError::DeadlineExceeded {
+                        deadline: ticket.deadline_dur.unwrap_or_default(),
+                    });
+                }
+                outcome
+            }
         }
     }
 }

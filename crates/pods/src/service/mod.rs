@@ -1,0 +1,485 @@
+//! The job-service subsystem: bounded admission, backpressure, per-client
+//! fairness, deadlines, and aggregate metrics for pooled runtimes.
+//!
+//! This layer sits between the public [`crate::Runtime`] API and the pooled
+//! backends (the native thread pool and the async cooperative executor).
+//! Job arrival is treated as an unbounded stream, not a batch: submissions
+//! are admitted into a bounded queue ([`crate::PodsError::QueueFull`] /
+//! blocking backpressure at capacity), a dispatcher thread drains the queue
+//! into the pool deficit-round-robin across clients (so one client's burst
+//! cannot starve the rest), a deadline watchdog cancels jobs that outlive
+//! `RunOptions::deadline`, and every transition feeds the
+//! [`ServiceMetrics`] snapshot.
+//!
+//! # Anatomy
+//!
+//! * [`fairness`] — [`ClientId`], client weights, and the deficit-round-
+//!   robin [`fairness::FairQueue`].
+//! * [`queue`] — the per-job [`queue::Ticket`] state machine (queued →
+//!   dispatched/cancelled) that `JobHandle` waits on.
+//! * [`metrics`] — the atomic [`metrics::MetricsRegistry`] and the public
+//!   [`ServiceMetrics`] snapshot.
+//! * This module — [`JobService`]: the dispatcher thread, the admission
+//!   paths, cancellation, and shutdown.
+//!
+//! # Concurrency notes
+//!
+//! The service state lock nests *outside* pool and ticket locks: the
+//! dispatcher submits to the pool and transitions tickets while holding it.
+//! Completion hooks (fired by pool workers with no pool locks held) take
+//! metrics locks and then the state lock. Cancellation of an in-flight job
+//! re-enters the completion hook, so cancellers are always invoked with the
+//! state lock released.
+
+pub(crate) mod fairness;
+pub(crate) mod metrics;
+pub(crate) mod queue;
+
+pub use fairness::ClientId;
+pub use metrics::ServiceMetrics;
+
+use crate::engine::{
+    cancellation_error, AsyncCanceller, AsyncJobHandle, EngineOutcome, NativeCanceller,
+    NativeJobHandle,
+};
+use crate::error::PodsError;
+use crate::pipeline::RunOptions;
+use crate::runtime::Backend;
+use fairness::FairQueue;
+use metrics::MetricsRegistry;
+use pods_istructure::{StoreStats, Value};
+use pods_machine::SimulationError;
+use queue::{CancelKind, QueuedJob, Ticket};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::Instant;
+
+/// The error injected into a pool job stopped by `JobHandle::cancel`.
+fn user_cancel_error() -> SimulationError {
+    SimulationError::Runtime("job cancelled: JobHandle::cancel was called".into())
+}
+
+/// The error injected into a pool job stopped by the deadline watchdog
+/// (mapped to [`PodsError::DeadlineExceeded`] at `wait`).
+fn deadline_cancel_error() -> SimulationError {
+    SimulationError::Runtime("job cancelled: deadline exceeded".into())
+}
+
+/// A job in flight on either pooled backend.
+pub(crate) enum PoolHandle {
+    Native(NativeJobHandle),
+    Async(AsyncJobHandle),
+}
+
+impl PoolHandle {
+    pub(crate) fn is_done(&self) -> bool {
+        match self {
+            PoolHandle::Native(h) => h.is_done(),
+            PoolHandle::Async(h) => h.is_done(),
+        }
+    }
+
+    pub(crate) fn canceller(&self) -> PoolCanceller {
+        match self {
+            PoolHandle::Native(h) => PoolCanceller::Native(h.canceller()),
+            PoolHandle::Async(h) => PoolCanceller::Async(h.canceller()),
+        }
+    }
+
+    pub(crate) fn wait(self) -> Result<EngineOutcome, PodsError> {
+        match self {
+            PoolHandle::Native(h) => h.wait(),
+            PoolHandle::Async(h) => h.wait(),
+        }
+    }
+}
+
+/// A detachable cancel token for a job on either pooled backend.
+#[derive(Clone)]
+pub(crate) enum PoolCanceller {
+    Native(NativeCanceller),
+    Async(AsyncCanceller),
+}
+
+impl PoolCanceller {
+    fn is_done(&self) -> bool {
+        match self {
+            PoolCanceller::Native(c) => c.is_done(),
+            PoolCanceller::Async(c) => c.is_done(),
+        }
+    }
+
+    fn cancel(&self, err: SimulationError) {
+        match self {
+            PoolCanceller::Native(c) => c.cancel(err),
+            PoolCanceller::Async(c) => c.cancel(err),
+        }
+    }
+}
+
+/// How a submission behaves when the admission queue is full.
+pub(crate) enum Admission {
+    /// `submit`: block until a slot frees (unbounded wait).
+    Wait,
+    /// `try_submit`: reject immediately with `QueueFull`.
+    Try,
+    /// `submit_timeout`: block until the given instant, then reject.
+    Until(Instant),
+}
+
+/// A job dispatched to the pool and not yet finished.
+struct InFlight {
+    ticket: Arc<Ticket>,
+    canceller: PoolCanceller,
+}
+
+/// State guarded by the service lock.
+struct ServiceState {
+    queue: FairQueue,
+    in_flight: Vec<InFlight>,
+    shutdown: bool,
+}
+
+/// The shared core of the service (see module docs).
+pub(crate) struct ServiceInner {
+    /// The pooled backend, held weakly: the `Runtime` owns the strong
+    /// reference, so dropping the runtime tears the pool down even while
+    /// completion hooks (which hold `Arc<ServiceInner>`) are alive.
+    backend: Weak<Backend>,
+    opts: RunOptions,
+    /// Admission queue capacity (0 = unbounded).
+    capacity: usize,
+    /// Maximum jobs dispatched to the pool at once.
+    window: usize,
+    state: Mutex<ServiceState>,
+    /// Wakes the dispatcher: new work, a freed pool slot, or shutdown.
+    work_cv: Condvar,
+    /// Wakes submitters blocked on a full admission queue.
+    slot_cv: Condvar,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+}
+
+impl ServiceInner {
+    /// Admits one job under the given admission mode. Returns its ticket,
+    /// or `QueueFull` if the job was rejected (already counted).
+    pub(crate) fn submit(
+        self: &Arc<Self>,
+        client: ClientId,
+        prepared: crate::runtime::PreparedProgram,
+        args: Vec<Value>,
+        mode: Admission,
+    ) -> Result<Arc<Ticket>, PodsError> {
+        self.metrics.note_submitted();
+        let ticket = Arc::new(Ticket::new(client, self.opts.deadline));
+        let mut job = Some(QueuedJob {
+            ticket: Arc::clone(&ticket),
+            prepared,
+            args,
+        });
+        let mut st = self.state.lock().expect("service state poisoned");
+        loop {
+            if st.shutdown {
+                // Unreachable through the public API (shutdown needs `&mut
+                // Runtime`), but terminal rather than hanging if reached.
+                ticket.set_cancel_kind(CancelKind::Shutdown);
+                ticket.cancelled(cancellation_error().into());
+                self.metrics.note_cancelled();
+                return Ok(ticket);
+            }
+            if st.queue.is_empty() && st.in_flight.len() < self.window {
+                // Fast path: an idle slot and no queue to be fair against —
+                // dispatch inline, keeping the warm path at pool-submit cost.
+                let qj = job.take().expect("job admitted twice");
+                self.dispatch_locked(&mut st, qj);
+                drop(st);
+                if self.opts.deadline.is_some() {
+                    // Re-arm the dispatcher's deadline watchdog.
+                    self.work_cv.notify_all();
+                }
+                return Ok(ticket);
+            }
+            if self.capacity == 0 || st.queue.len() < self.capacity {
+                let qj = job.take().expect("job admitted twice");
+                st.queue.push(qj);
+                self.metrics.set_depth(st.queue.len());
+                drop(st);
+                self.work_cv.notify_all();
+                return Ok(ticket);
+            }
+            let depth = st.queue.len();
+            match mode {
+                Admission::Try => {
+                    self.metrics.note_rejected();
+                    return Err(PodsError::QueueFull {
+                        capacity: self.capacity,
+                        depth,
+                    });
+                }
+                Admission::Wait => {
+                    st = self.slot_cv.wait(st).expect("service state poisoned");
+                }
+                Admission::Until(limit) => {
+                    let now = Instant::now();
+                    if now >= limit {
+                        self.metrics.note_rejected();
+                        return Err(PodsError::QueueFull {
+                            capacity: self.capacity,
+                            depth,
+                        });
+                    }
+                    st = self
+                        .slot_cv
+                        .wait_timeout(st, limit - now)
+                        .expect("service state poisoned")
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Submits one queued job to the pool. Caller holds the state lock.
+    fn dispatch_locked(self: &Arc<Self>, st: &mut ServiceState, qj: QueuedJob) {
+        let QueuedJob {
+            ticket,
+            prepared,
+            args,
+        } = qj;
+        let Some(backend) = self.backend.upgrade() else {
+            // The runtime is tearing down; terminal, like shutdown.
+            ticket.set_cancel_kind(CancelKind::Shutdown);
+            ticket.cancelled(cancellation_error().into());
+            self.metrics.note_cancelled();
+            return;
+        };
+        let mut spec = prepared.job_spec(&self.opts);
+        let hook_self = Arc::clone(self);
+        let hook_ticket = Arc::clone(&ticket);
+        spec.on_done = Some(Arc::new(move |store: StoreStats| {
+            hook_self.job_finished(&hook_ticket, store);
+        }));
+        let handle = backend.submit_pooled(spec, &args);
+        let canceller = handle.canceller();
+        ticket.dispatched(handle);
+        st.in_flight.push(InFlight { ticket, canceller });
+        self.metrics.set_in_flight(st.in_flight.len());
+    }
+
+    /// Completion hook: runs on a pool worker thread, exactly once per
+    /// dispatched job, with no pool locks held.
+    fn job_finished(&self, ticket: &Arc<Ticket>, store: StoreStats) {
+        match ticket.cancel_kind() {
+            Some(_) => self.metrics.note_cancelled(),
+            None => self
+                .metrics
+                .note_completed(ticket.client, ticket.submitted.elapsed()),
+        }
+        self.metrics.absorb_store(store);
+        let mut st = self.state.lock().expect("service state poisoned");
+        st.in_flight.retain(|e| !Arc::ptr_eq(&e.ticket, ticket));
+        self.metrics.set_in_flight(st.in_flight.len());
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    /// `JobHandle::cancel`: cancels a queued job outright, or stops a
+    /// dispatched one at its next instruction boundary. A no-op for jobs
+    /// that already finished.
+    pub(crate) fn cancel(&self, ticket: &Arc<Ticket>) {
+        let mut st = self.state.lock().expect("service state poisoned");
+        let removed = st.queue.purge(|qj| Arc::ptr_eq(&qj.ticket, ticket));
+        if !removed.is_empty() {
+            ticket.set_cancel_kind(CancelKind::User);
+            ticket.cancelled(user_cancel_error().into());
+            self.metrics.note_cancelled();
+            self.metrics.set_depth(st.queue.len());
+            drop(st);
+            self.slot_cv.notify_all();
+            return;
+        }
+        let canceller = st
+            .in_flight
+            .iter()
+            .find(|e| Arc::ptr_eq(&e.ticket, ticket))
+            .map(|e| e.canceller.clone());
+        drop(st);
+        if let Some(c) = canceller {
+            if !c.is_done() {
+                ticket.set_cancel_kind(CancelKind::User);
+                c.cancel(user_cancel_error());
+            }
+        }
+    }
+}
+
+/// The earlier of two optional instants (`Option::min` would treat `None`
+/// as earliest).
+fn earlier(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The dispatcher thread: drains the fair queue into the pool up to the
+/// dispatch window and enforces deadlines. Sleeps on `work_cv` (bounded by
+/// the earliest pending deadline) when there is nothing to do.
+fn dispatcher_loop(inner: Arc<ServiceInner>) {
+    let mut st = inner.state.lock().expect("service state poisoned");
+    loop {
+        if st.shutdown {
+            return;
+        }
+
+        // Deadline watchdog: cancel expired queued jobs in place, collect
+        // cancellers for expired in-flight jobs, and find the next wake-up.
+        let mut next_deadline: Option<Instant> = None;
+        let mut overdue: Vec<PoolCanceller> = Vec::new();
+        if inner.opts.deadline.is_some() {
+            let now = Instant::now();
+            let expired = st
+                .queue
+                .purge(|qj| qj.ticket.deadline.is_some_and(|d| d <= now));
+            if !expired.is_empty() {
+                for qj in &expired {
+                    qj.ticket.set_cancel_kind(CancelKind::Deadline);
+                    qj.ticket.cancelled(PodsError::DeadlineExceeded {
+                        deadline: qj.ticket.deadline_dur.unwrap_or_default(),
+                    });
+                    inner.metrics.note_cancelled();
+                }
+                inner.metrics.set_depth(st.queue.len());
+                inner.slot_cv.notify_all();
+            }
+            for entry in &st.in_flight {
+                match entry.ticket.deadline {
+                    Some(d) if d <= now => {
+                        if entry.ticket.cancel_kind().is_none() && !entry.canceller.is_done() {
+                            entry.ticket.set_cancel_kind(CancelKind::Deadline);
+                            overdue.push(entry.canceller.clone());
+                        }
+                    }
+                    d => next_deadline = earlier(next_deadline, d),
+                }
+            }
+            next_deadline = earlier(next_deadline, st.queue.min_deadline());
+        }
+
+        // Dispatch up to the window, deficit-round-robin across clients.
+        let mut dispatched = false;
+        while st.in_flight.len() < inner.window {
+            match st.queue.pop() {
+                Some(qj) => {
+                    inner.dispatch_locked(&mut st, qj);
+                    dispatched = true;
+                }
+                None => break,
+            }
+        }
+        if dispatched {
+            inner.metrics.set_depth(st.queue.len());
+            inner.slot_cv.notify_all();
+        }
+
+        // Stop overdue jobs with the lock released: cancellation re-enters
+        // the completion hook, which takes the state lock.
+        if !overdue.is_empty() {
+            drop(st);
+            for c in overdue {
+                c.cancel(deadline_cancel_error());
+            }
+            st = inner.state.lock().expect("service state poisoned");
+            continue;
+        }
+
+        st = match next_deadline {
+            Some(d) => {
+                let now = Instant::now();
+                if d <= now {
+                    continue;
+                }
+                inner
+                    .work_cv
+                    .wait_timeout(st, d - now)
+                    .expect("service state poisoned")
+                    .0
+            }
+            None => inner.work_cv.wait(st).expect("service state poisoned"),
+        };
+    }
+}
+
+/// The service owned by a pooled [`crate::Runtime`]: shared state plus the
+/// dispatcher thread.
+pub(crate) struct JobService {
+    pub(crate) inner: Arc<ServiceInner>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Spawns the dispatcher and returns the running service.
+    pub(crate) fn start(
+        backend: Weak<Backend>,
+        opts: RunOptions,
+        capacity: usize,
+        window: usize,
+        weights: HashMap<ClientId, u32>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> JobService {
+        let inner = Arc::new(ServiceInner {
+            backend,
+            opts,
+            capacity,
+            window: window.max(1),
+            state: Mutex::new(ServiceState {
+                queue: FairQueue::new(weights),
+                in_flight: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            slot_cv: Condvar::new(),
+            metrics,
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("pods-dispatcher".into())
+                .spawn(move || dispatcher_loop(inner))
+                .expect("failed to spawn service dispatcher")
+        };
+        JobService {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Clean drain-on-drop, called from `Runtime::drop` *before* the pool
+    /// is dropped: cancels everything still queued (their waiters get a
+    /// cancellation error, not a hang), pre-marks in-flight jobs as
+    /// shutdown-cancelled (the pool's own drop stops them), and joins the
+    /// dispatcher.
+    pub(crate) fn shutdown(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("service state poisoned");
+            st.shutdown = true;
+            let drained = st.queue.purge(|_| true);
+            self.inner.metrics.set_depth(0);
+            for qj in &drained {
+                qj.ticket.set_cancel_kind(CancelKind::Shutdown);
+                qj.ticket.cancelled(cancellation_error().into());
+                self.inner.metrics.note_cancelled();
+            }
+            for entry in &st.in_flight {
+                if !entry.canceller.is_done() {
+                    entry.ticket.set_cancel_kind(CancelKind::Shutdown);
+                }
+            }
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.slot_cv.notify_all();
+        if let Some(t) = self.dispatcher.take() {
+            t.join().expect("service dispatcher panicked");
+        }
+    }
+}

@@ -885,3 +885,135 @@ fn dropping_a_runtime_cancels_outstanding_jobs_instead_of_hanging() {
         assert!(r.returned_array().unwrap().is_complete());
     }
 }
+
+#[test]
+fn detached_handles_still_run_their_jobs_to_completion() {
+    // Dropping a JobHandle without waiting must not cancel or leak the job:
+    // it still executes, is counted in the metrics, and the pool keeps
+    // serving afterwards.
+    const JOBS: u64 = 8;
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+    let prepared = runtime.prepare(&program);
+    for _ in 0..JOBS {
+        let handle = runtime.submit(&prepared, &[Value::Int(24)]).unwrap();
+        drop(handle); // detach: nobody will ever wait on this job
+    }
+    // Drain: completion is observable through the metrics alone.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let m = runtime.metrics();
+        if m.completed + m.rejected + m.cancelled == m.submitted
+            && m.queue_depth == 0
+            && m.in_flight == 0
+        {
+            assert_eq!(m.submitted, JOBS);
+            assert_eq!(m.completed, JOBS, "detached jobs must still complete");
+            assert_eq!(m.rejected + m.cancelled, 0);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "detached jobs never drained: {m:?}"
+        );
+        std::thread::yield_now();
+    }
+    // The runtime is fully reusable after the detached burst.
+    let outcome = runtime.run(&prepared, &[Value::Int(24)]).unwrap();
+    assert!(outcome.returned_array().unwrap().is_complete());
+    assert_eq!(runtime.metrics().completed, JOBS + 1);
+}
+
+#[test]
+fn cancel_stops_a_queued_job_and_counts_it() {
+    // A narrow dispatch window keeps the victim in the admission queue
+    // behind a heavy blocker; cancelling it must resolve its waiter with a
+    // cancellation error and count it as cancelled, never run it.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .dispatch_window(1)
+        .build();
+    let prepared = runtime.prepare(&program);
+    let blocker = runtime.submit(&prepared, &[Value::Int(2048)]).unwrap();
+    let victim = runtime.submit(&prepared, &[Value::Int(2048)]).unwrap();
+    victim.cancel();
+    let err = victim.wait().expect_err("cancelled job must not succeed");
+    assert!(
+        err.to_string().contains("cancelled"),
+        "unexpected error: {err}"
+    );
+    assert!(blocker.wait().is_ok(), "the blocker is unaffected");
+    let m = runtime.metrics();
+    assert_eq!(m.cancelled, 1);
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.submitted, m.completed + m.rejected + m.cancelled);
+}
+
+#[test]
+fn try_submit_rejects_at_capacity_with_queue_full() {
+    // capacity 1 + window 1 + a heavy blocker: the first job dispatches,
+    // the second fills the queue, the third is rejected immediately.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .dispatch_window(1)
+        .admission_capacity(1)
+        .build();
+    let prepared = runtime.prepare(&program);
+    let blocker = runtime.submit(&prepared, &[Value::Int(2048)]).unwrap();
+    let queued = runtime.submit(&prepared, &[Value::Int(16)]).unwrap();
+    let err = runtime
+        .try_submit(&prepared, &[Value::Int(16)])
+        .expect_err("the queue is full");
+    assert!(
+        matches!(
+            err,
+            pods::PodsError::QueueFull {
+                capacity: 1,
+                depth: 1
+            }
+        ),
+        "unexpected error: {err:?}"
+    );
+    // A bounded-wait submit times out against the same full queue.
+    let err = runtime
+        .submit_timeout(
+            &prepared,
+            &[Value::Int(16)],
+            std::time::Duration::from_millis(10),
+        )
+        .expect_err("no slot frees within the timeout");
+    assert!(matches!(err, pods::PodsError::QueueFull { .. }));
+    assert!(blocker.wait().is_ok());
+    assert!(queued.wait().is_ok());
+    let m = runtime.metrics();
+    assert_eq!(m.rejected, 2);
+    assert_eq!(m.completed, 2);
+    assert!(m.queue_depth_peak <= 1, "depth never exceeds capacity");
+}
+
+#[test]
+fn store_stats_flow_from_jobs_into_engine_and_service_metrics() {
+    // The I-structure store's live/peak counters surface per job (engine
+    // stats) and as service-wide aggregates (Runtime::metrics).
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let runtime = Runtime::builder(EngineKind::Native).workers(2).build();
+    let outcome = runtime.run(&program, &[Value::Int(32)]).unwrap();
+    let stats = native_stats(&outcome);
+    assert!(stats.store.peak_arrays >= 1, "fill allocates an array");
+    assert!(stats.store.peak_bytes > 0);
+    assert_eq!(stats.store.live_arrays, stats.store.peak_arrays);
+    let m = runtime.metrics();
+    assert!(m.peak_live_arrays >= 1);
+    assert!(m.peak_array_bytes > 0);
+    assert!(m.arrays_allocated >= 1);
+    assert!(m.p50_latency_us > 0.0, "completed jobs record latency");
+
+    // Async parity: the same counters flow from the cooperative executor.
+    let async_rt = Runtime::builder(EngineKind::AsyncCoop).workers(2).build();
+    let outcome = async_rt.run(&program, &[Value::Int(32)]).unwrap();
+    let stats = async_stats(&outcome);
+    assert!(stats.store.peak_arrays >= 1);
+    assert!(async_rt.metrics().peak_live_arrays >= 1);
+}
