@@ -32,6 +32,13 @@
 //! policy to every non-grain group, so a CI smoke run can execute the
 //! whole bench under a chunked configuration.
 //!
+//! Setting `PODS_BENCH_TRACE` (truthy) additionally re-runs the fill
+//! workload on a traced runtime after the measurements and writes the
+//! flight recorder's Chrome-trace export to `trace.json` next to the
+//! snapshot — load it in `chrome://tracing` or Perfetto to see where a
+//! bench run's time goes. The traced run is separate from the measured
+//! configurations, so the numbers are never polluted by the recorder.
+//!
 //! Besides the Criterion timings, the bench writes a machine-readable
 //! snapshot to `BENCH_engines.json` at the repository root (override with
 //! the `PODS_BENCH_OUT` environment variable): per-configuration mean
@@ -466,15 +473,84 @@ fn bench_engines(c: &mut Criterion) {
         group.finish();
     }
 
+    // tracing_overhead: the flight recorder's cost on the warm native path.
+    // `off` is a runtime built without a recorder (the default); `on`
+    // records every event into the bounded rings and drains them once per
+    // iteration. The claim the group keeps honest: `off` is within noise of
+    // the pre-recorder runtime (the hooks are one `Option` branch per
+    // emission site), and even `on` stays cheap.
+    {
+        let (workload, n) = ("fill", 48i64);
+        let program = pods::compile(pods_workloads::FILL).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("tracing_overhead_{workload}_{n}"));
+        for mode in ["off", "on"] {
+            let mut builder = Runtime::builder(EngineKind::Native)
+                .workers(reuse_workers)
+                .chunk_policy(env_chunk);
+            if mode == "on" {
+                builder = builder.trace(pods::TraceConfig::new());
+            }
+            let runtime = builder.build();
+            let prepared = runtime.prepare(&program);
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(mode, reuse_workers),
+                &reuse_workers,
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..PREP_RUNS {
+                            runtime.run(&prepared, &[Value::Int(n)]).expect("bench run");
+                        }
+                        // Drain so the rings never saturate into drop-oldest
+                        // churn; an untraced runtime returns an empty trace.
+                        runtime.take_trace();
+                    });
+                    mean_us = b.mean_ns / 1e3 / PREP_RUNS as f64;
+                },
+            );
+            rows.push_str(&format!(
+                ",\n    {{\"group\": \"tracing_overhead\", \"workload\": \"{workload}\", \
+                 \"n\": {n}, \"engine\": \"trace-{mode}\", \"workers\": {reuse_workers}, \
+                 \"mean_wall_us\": {mean_us:.1}}}"
+            ));
+        }
+        group.finish();
+    }
+
     let out = format!(
         "{{\n  \"bench\": \"engines\",\n  \"host_parallelism\": {host_parallelism},\n  \
          \"points\": [\n{rows}\n  ]\n}}\n"
     );
     let path = std::env::var("PODS_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_engines.json", env!("CARGO_MANIFEST_DIR")));
-    match std::fs::write(&path, &out) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    if let Err(e) = std::fs::write(&path, &out) {
+        // A missing snapshot must fail the bench run loudly (CI consumes
+        // the file), not scroll past as a stderr note.
+        panic!("could not write bench snapshot {path}: {e}");
+    }
+    println!("wrote {path}");
+
+    // PODS_BENCH_TRACE=1: re-run one traced workload and drop a Chrome
+    // trace next to the snapshot, so a bench run can be inspected in
+    // Perfetto without touching the measured configurations above.
+    if std::env::var("PODS_BENCH_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        let program = pods::compile(pods_workloads::FILL).expect("workload compiles");
+        let runtime = Runtime::builder(EngineKind::Native)
+            .workers(reuse_workers)
+            .trace(pods::TraceConfig::new())
+            .build();
+        for _ in 0..4 {
+            runtime.run(&program, &[Value::Int(48)]).expect("trace run");
+        }
+        let trace = runtime.take_trace();
+        let trace_path = std::path::Path::new(&path)
+            .with_file_name("trace.json")
+            .display()
+            .to_string();
+        if let Err(e) = std::fs::write(&trace_path, trace.chrome_trace()) {
+            panic!("could not write bench trace {trace_path}: {e}");
+        }
+        println!("wrote {trace_path} ({} events)", trace.len());
     }
 }
 

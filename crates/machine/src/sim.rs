@@ -19,7 +19,7 @@ use pods_istructure::{
     ArrayHeader, ArrayId, ArrayMemory, ArrayShape, PageCopy, Partitioning, PeId, ReadOutcome,
     ReadResult, Value, WriteOutcome,
 };
-use pods_sp::exec::{self, ArrayOps, Cost, ExecCtx, Loaded, ReadSlots, RunExit};
+use pods_sp::exec::{self, ArrayOps, Cost, ExecCtx, Loaded, ReadSlots, RunExit, TraceSink};
 use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -204,6 +204,10 @@ pub struct Simulation {
     entry_instance: InstanceId,
     result: Option<Value>,
     error: Option<SimulationError>,
+    /// Optional flight-recorder sink: the shared exec core's suspension /
+    /// deferred-load / chunk events are reported here, attributed to the
+    /// simulated PE that produced them.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 /// Runs `program` with the given `main` arguments on the configured machine.
@@ -218,6 +222,23 @@ pub fn simulate(
     config: &MachineConfig,
 ) -> Result<SimulationResult, SimulationError> {
     Simulation::new(program.clone(), config.clone()).run(main_args)
+}
+
+/// [`simulate`] with a flight-recorder sink attached (see
+/// [`Simulation::with_trace_sink`]).
+///
+/// # Errors
+///
+/// Same as [`simulate`].
+pub fn simulate_with_sink(
+    program: &SpProgram,
+    main_args: &[Value],
+    config: &MachineConfig,
+    sink: Box<dyn TraceSink>,
+) -> Result<SimulationResult, SimulationError> {
+    Simulation::new(program.clone(), config.clone())
+        .with_trace_sink(sink)
+        .run(main_args)
 }
 
 impl Simulation {
@@ -240,7 +261,16 @@ impl Simulation {
             entry_instance: InstanceId(0),
             result: None,
             error: None,
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink: the shared exec core's events (firing-rule
+    /// suspensions, deferred array loads, chunk advances) are reported to
+    /// it, tagged with the simulated PE index.
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Runs the simulation to completion.
@@ -935,6 +965,13 @@ impl ExecCtx for SimCtx<'_> {
 
     fn should_stop(&self) -> bool {
         self.sim.error.is_some()
+    }
+
+    fn trace_sink(&mut self) -> Option<&mut dyn TraceSink> {
+        self.sim
+            .sink
+            .as_mut()
+            .map(|s| s.as_mut() as &mut dyn TraceSink)
     }
 
     fn spawn(

@@ -25,12 +25,13 @@ use crate::engine::{
     cancellation_error, EngineOutcome, EngineStats, InstanceArena, JobCounts, ReadSlots,
 };
 use crate::error::PodsError;
+use crate::trace::{TraceEventKind, TraceHandle};
 use pods_istructure::{
     ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, Value,
 };
 use pods_machine::{ArraySnapshot, InstanceId, SimulationError};
 use pods_partition::PartitionReport;
-use pods_sp::exec::{self, ArrayOps, ExecCtx, Loaded, RunExit};
+use pods_sp::exec::{self, ArrayOps, ExecCtx, ExecEvent, Loaded, RunExit, TraceSink};
 use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -102,6 +103,8 @@ pub(crate) struct AsyncJob {
     /// Completion hook (see [`JobSpec::on_done`]); fired exactly once, by
     /// whichever of normal completion / failure / cancellation wins.
     on_done: Option<JobNotifier>,
+    /// Flight-recorder handle (see [`JobSpec::trace`]).
+    trace: Option<TraceHandle>,
     /// First-wins claim on the terminal transition, separate from `done` so
     /// the hook can run *before* `done` is published (waiters must never
     /// observe a finished job whose hook has not fired yet).
@@ -262,6 +265,9 @@ impl ExecShared {
             job.arena_reuses.fetch_add(1, Ordering::Relaxed);
         }
         let task = Arc::new(TaskHandle::new(id, template_id, pe, slots, return_to));
+        if let Some(t) = &job.trace {
+            t.emit(w as u32, id.0, TraceEventKind::InstanceSpawned);
+        }
         self.enqueue(w, job, task, true);
     }
 
@@ -278,6 +284,15 @@ impl ExecShared {
                     .pop_front();
                 if let Some(e) = &stolen {
                     e.job.steals.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tr) = &e.job.trace {
+                        tr.emit(
+                            w as u32,
+                            e.task.id.0,
+                            TraceEventKind::Steal {
+                                from: victim as u32,
+                            },
+                        );
+                    }
                 }
                 stolen
             })
@@ -320,6 +335,9 @@ impl ExecShared {
         {
             let mut q = self.queues[w].lock().expect("queue poisoned");
             for task in to_wake {
+                if let Some(t) = &job.trace {
+                    t.emit(w as u32, task.id.0, TraceEventKind::Resumed);
+                }
                 q.push_back(RunEntry {
                     job: Arc::clone(job),
                     task,
@@ -440,6 +458,9 @@ impl ExecShared {
         let template = program.template(task.template);
         let slot_table = &job.read_slots[task.template.index()];
         let mut cache = ArrayCache::default();
+        if let Some(t) = &job.trace {
+            t.emit(w as u32, task.id.0, TraceEventKind::RunBegin);
+        }
         loop {
             let exit = {
                 let mut cx = AsyncCtx {
@@ -460,18 +481,32 @@ impl ExecShared {
             };
             match exit {
                 Ok(RunExit::Finished(v)) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, task.id.0, TraceEventKind::RunEnd);
+                    }
                     self.finish(w, job, task, v, &mut ctx.delivery);
                     ctx.arena.recycle(std::mem::take(&mut frame.slots));
                     return;
                 }
                 Ok(RunExit::Blocked(slot)) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, task.id.0, TraceEventKind::RunEnd);
+                    }
                     self.flush(w, job, &mut ctx.delivery);
                     match self.suspend(job, task, frame, slot) {
-                        Some(resumed) => frame = resumed,
+                        Some(resumed) => {
+                            if let Some(t) = &job.trace {
+                                t.emit(w as u32, task.id.0, TraceEventKind::RunBegin);
+                            }
+                            frame = resumed;
+                        }
                         None => return,
                     }
                 }
                 Ok(RunExit::Stopped) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, task.id.0, TraceEventKind::RunEnd);
+                    }
                     if !job.stop.load(Ordering::Relaxed) {
                         // The pool is being torn down: cut the job short so
                         // its waiter gets a cancellation error instead of
@@ -485,6 +520,9 @@ impl ExecShared {
                     return;
                 }
                 Err(msg) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, task.id.0, TraceEventKind::RunEnd);
+                    }
                     job.fail(SimulationError::Runtime(msg));
                     self.abandon(job, task);
                     ctx.delivery.clear();
@@ -691,6 +729,23 @@ impl ExecCtx for AsyncCtx<'_> {
         self.worker.spawn_args = buf;
         Ok(())
     }
+
+    #[inline(always)]
+    fn trace_sink(&mut self) -> Option<&mut dyn TraceSink> {
+        if self.job.trace.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl TraceSink for AsyncCtx<'_> {
+    fn exec_event(&mut self, _pe: usize, ev: ExecEvent) {
+        if let Some(t) = &self.job.trace {
+            t.emit(self.w as u32, self.task.id.0, TraceEventKind::from_exec(ev));
+        }
+    }
 }
 
 /// A persistent cooperative executor: `workers` OS threads polling tasks
@@ -753,7 +808,11 @@ impl AsyncPool {
             delivery_batch,
             chunks_autotuned,
             on_done,
+            trace,
         } = spec;
+        if let Some(t) = &trace {
+            t.emit(t.service_lane(), 0, TraceEventKind::JobStarted);
+        }
         let entry_template = program.entry();
         let job = Arc::new(AsyncJob {
             seq,
@@ -785,6 +844,7 @@ impl AsyncPool {
             chunk_iterations: AtomicU64::new(0),
             chunks_autotuned,
             on_done,
+            trace,
             finished: AtomicBool::new(false),
         });
         let home = (seq as usize - 1) % self.shared.workers;
@@ -877,6 +937,7 @@ impl AsyncJobHandle {
                 stats: self.job.stats(),
                 partition: self.partition,
             },
+            diagnostics: None,
         })
     }
 }

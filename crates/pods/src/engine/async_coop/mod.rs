@@ -141,6 +141,27 @@ impl AsyncStats {
     }
 }
 
+impl std::fmt::Display for AsyncStats {
+    /// One-line human summary, shared by the examples and the slow-job
+    /// diagnostics (see [`super::EngineStats::summary`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "async: {} worker(s), {} instances ({:.1} iter/instance), {} polls, \
+             {} suspensions, {} steals, {} wakeups in {} flushes, peak {} arrays",
+            self.workers,
+            self.instances,
+            self.iterations_per_instance(),
+            self.polls,
+            self.suspensions,
+            self.steals,
+            self.wakeups,
+            self.wakeup_flushes,
+            self.store.peak_arrays,
+        )
+    }
+}
+
 impl Engine for AsyncCoopEngine {
     fn name(&self) -> &'static str {
         "async"

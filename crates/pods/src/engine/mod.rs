@@ -158,6 +158,11 @@ pub struct EngineOutcome {
     pub wall_us: f64,
     /// Engine-specific statistics.
     pub stats: EngineStats,
+    /// Per-job time breakdown from the flight recorder (queue wait vs
+    /// dispatch vs run vs blocked time) — `Some` only when the runtime was
+    /// built with tracing enabled and the recorder captured events for this
+    /// job. See [`crate::trace`].
+    pub diagnostics: Option<crate::trace::JobBreakdown>,
 }
 
 impl EngineOutcome {
@@ -208,6 +213,36 @@ impl EngineOutcome {
             | EngineStats::Native { partition, .. }
             | EngineStats::AsyncCoop { partition, .. } => Some(partition),
             _ => None,
+        }
+    }
+
+    /// A one-line human summary of this outcome's scheduler statistics
+    /// ([`EngineStats::summary`]).
+    pub fn summary(&self) -> String {
+        self.stats.summary()
+    }
+}
+
+impl EngineStats {
+    /// A one-line human summary of the engine's counters, uniform across
+    /// engines: the pooled engines defer to [`NativeStats`]/[`AsyncStats`]
+    /// `Display`, the modelled engines report their headline numbers.
+    pub fn summary(&self) -> String {
+        match self {
+            EngineStats::Simulated { stats, .. } => format!(
+                "sim: {:.0}µs simulated, EU utilization {:.0}%",
+                stats.elapsed_us,
+                stats.utilization(Unit::Execution) * 100.0
+            ),
+            EngineStats::Sequential { nests, serial_us } => {
+                format!("seq: {nests} loop nest(s), {serial_us:.0}µs serial")
+            }
+            EngineStats::Estimated { point } => format!(
+                "pr: {:.0}µs estimated on {} PE(s), speed-up {:.2}",
+                point.elapsed_us, point.pes, point.speedup
+            ),
+            EngineStats::Native { stats, .. } => stats.to_string(),
+            EngineStats::AsyncCoop { stats, .. } => stats.to_string(),
         }
     }
 }

@@ -73,12 +73,13 @@ use super::{
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
+use crate::trace::{TraceEventKind, TraceHandle};
 use pods_istructure::{
     ArrayHeader, ArrayId, Partitioning, PeId, SharedArrayStore, SharedReadResult, StoreStats, Value,
 };
 use pods_machine::{ArraySnapshot, InstanceId, SimulationError};
 use pods_partition::PartitionReport;
-use pods_sp::exec::{self, ArrayOps, ExecCtx, Loaded, RunExit};
+use pods_sp::exec::{self, ArrayOps, ExecCtx, ExecEvent, Loaded, RunExit, TraceSink};
 use pods_sp::{Operand, SlotId, SpId, SpProgram};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -166,6 +167,27 @@ impl NativeStats {
     }
 }
 
+impl std::fmt::Display for NativeStats {
+    /// One-line human summary, shared by the examples and the slow-job
+    /// diagnostics (see [`super::EngineStats::summary`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "native: {} worker(s), {} instances ({:.1} iter/instance), {} tasks, \
+             {} parks, {} steals, {} wakeups in {} flushes, peak {} arrays",
+            self.workers,
+            self.instances,
+            self.iterations_per_instance(),
+            self.tasks,
+            self.parks,
+            self.steals,
+            self.wakeups,
+            self.wakeup_flushes,
+            self.store.peak_arrays,
+        )
+    }
+}
+
 /// `(instance, slot)` continuation tag: where a produced value must go.
 type NativeWaiter = (InstanceId, SlotId);
 
@@ -239,6 +261,10 @@ pub(crate) struct JobSpec {
     /// layer to drive its metrics and dispatch window; `None` on the cold
     /// `Engine`-trait path.
     pub on_done: Option<JobNotifier>,
+    /// Flight-recorder handle: when present, the scheduler and the exec
+    /// core emit trace events for this job (see [`crate::trace`]). `None`
+    /// (tracing disabled) costs one branch per would-be event.
+    pub trace: Option<TraceHandle>,
 }
 
 /// The completion callback a [`JobSpec`] can carry (see
@@ -262,6 +288,7 @@ impl JobSpec {
             delivery_batch: opts.delivery_batch.max(1),
             chunks_autotuned: 0,
             on_done: None,
+            trace: None,
         }
     }
 }
@@ -327,6 +354,8 @@ struct Job {
     /// Completion hook (see [`JobSpec::on_done`]); fired exactly once, by
     /// whichever of normal completion / failure / cancellation wins.
     on_done: Option<JobNotifier>,
+    /// Flight-recorder handle (see [`JobSpec::trace`]).
+    trace: Option<TraceHandle>,
     /// First-wins claim on the terminal transition, separate from `done` so
     /// the hook can run *before* `done` is published (waiters must never
     /// observe a finished job whose hook has not fired yet).
@@ -512,6 +541,9 @@ impl PoolShared {
             slots,
             return_to,
         };
+        if let Some(t) = &job.trace {
+            t.emit(w as u32, id.0, TraceEventKind::InstanceSpawned);
+        }
         self.enqueue(w, job, inst, true);
     }
 
@@ -528,6 +560,15 @@ impl PoolShared {
                     .pop_front();
                 if let Some(t) = &stolen {
                     t.job.steals.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tr) = &t.job.trace {
+                        tr.emit(
+                            w as u32,
+                            t.inst.id.0,
+                            TraceEventKind::Steal {
+                                from: victim as u32,
+                            },
+                        );
+                    }
                 }
                 stolen
             })
@@ -579,6 +620,9 @@ impl PoolShared {
         {
             let mut q = self.queues[w].lock().expect("queue poisoned");
             for inst in to_wake {
+                if let Some(t) = &job.trace {
+                    t.emit(w as u32, inst.id.0, TraceEventKind::Resumed);
+                }
                 q.push_back(Task {
                     job: Arc::clone(job),
                     inst,
@@ -684,6 +728,9 @@ impl PoolShared {
         let template = program.template(inst.template);
         let slot_table = &job.read_slots[inst.template.index()];
         let mut cache = ArrayCache::default();
+        if let Some(t) = &job.trace {
+            t.emit(w as u32, inst.id.0, TraceEventKind::RunBegin);
+        }
         loop {
             let exit = {
                 let mut cx = NativeCtx {
@@ -703,19 +750,33 @@ impl PoolShared {
             };
             match exit {
                 Ok(RunExit::Finished(v)) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, inst.id.0, TraceEventKind::RunEnd);
+                    }
                     let frame = std::mem::take(&mut inst.slots);
                     self.finish(w, job, inst, v, &mut ctx.delivery);
                     ctx.arena.recycle(frame);
                     return;
                 }
                 Ok(RunExit::Blocked(slot)) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, inst.id.0, TraceEventKind::RunEnd);
+                    }
                     self.flush(w, job, &mut ctx.delivery);
                     match self.park(job, inst, slot) {
-                        Some(resumed) => inst = resumed,
+                        Some(resumed) => {
+                            if let Some(t) = &job.trace {
+                                t.emit(w as u32, resumed.id.0, TraceEventKind::RunBegin);
+                            }
+                            inst = resumed;
+                        }
                         None => return,
                     }
                 }
                 Ok(RunExit::Stopped) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, inst.id.0, TraceEventKind::RunEnd);
+                    }
                     if !job.stop.load(Ordering::Relaxed) {
                         // The pool is being torn down: cut the job short so
                         // its waiter gets a cancellation error instead of
@@ -729,6 +790,9 @@ impl PoolShared {
                     return;
                 }
                 Err(msg) => {
+                    if let Some(t) = &job.trace {
+                        t.emit(w as u32, inst.id.0, TraceEventKind::RunEnd);
+                    }
                     job.fail(SimulationError::Runtime(msg));
                     self.abandon(job);
                     ctx.delivery.clear();
@@ -939,6 +1003,23 @@ impl ExecCtx for NativeCtx<'_> {
         self.worker.spawn_args = buf;
         Ok(())
     }
+
+    #[inline(always)]
+    fn trace_sink(&mut self) -> Option<&mut dyn TraceSink> {
+        if self.job.trace.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl TraceSink for NativeCtx<'_> {
+    fn exec_event(&mut self, _pe: usize, ev: ExecEvent) {
+        if let Some(t) = &self.job.trace {
+            t.emit(self.w as u32, self.inst.id.0, TraceEventKind::from_exec(ev));
+        }
+    }
 }
 
 /// A persistent work-stealing worker pool: `workers` OS threads that stay
@@ -1002,7 +1083,11 @@ impl NativePool {
             delivery_batch,
             chunks_autotuned,
             on_done,
+            trace,
         } = spec;
+        if let Some(t) = &trace {
+            t.emit(t.service_lane(), 0, TraceEventKind::JobStarted);
+        }
         let entry_template = program.entry();
         let job = Arc::new(Job {
             seq,
@@ -1024,6 +1109,7 @@ impl NativePool {
             delivery_batch: delivery_batch.max(1),
             chunks_autotuned,
             on_done,
+            trace,
             finished: AtomicBool::new(false),
             next_instance: AtomicU64::new(0),
             next_array: AtomicUsize::new(0),
@@ -1125,6 +1211,7 @@ impl NativeJobHandle {
                 stats: self.job.stats(),
                 partition: self.partition,
             },
+            diagnostics: None,
         })
     }
 }

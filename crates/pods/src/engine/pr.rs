@@ -53,6 +53,7 @@ impl Engine for PrEstimateEngine {
             modelled_us: Some(point.elapsed_us),
             wall_us,
             stats: EngineStats::Estimated { point },
+            diagnostics: None,
         })
     }
 }

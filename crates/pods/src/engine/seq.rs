@@ -75,6 +75,7 @@ impl Engine for SequentialEngine {
                 nests: run.nests.len(),
                 serial_us: run.serial_us,
             },
+            diagnostics: None,
         })
     }
 }

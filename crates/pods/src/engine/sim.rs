@@ -3,8 +3,9 @@
 use super::{check_invocation, Engine, EngineOutcome, EngineStats};
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
+use crate::trace::{RecorderExecSink, TraceHandle};
 use pods_istructure::Value;
-use pods_machine::simulate;
+use pods_machine::{simulate, simulate_with_sink};
 use std::time::Instant;
 
 /// Executes the partitioned program on the instruction-level iPSC/2
@@ -12,6 +13,39 @@ use std::time::Instant;
 /// on `opts.num_pes` virtual PEs — the paper's own measurement methodology.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimEngine;
+
+impl SimEngine {
+    /// [`Engine::run`] with the runtime's flight recorder attached: the
+    /// shared exec core's events (suspensions, deferred loads, chunk
+    /// advances) are recorded on the lane of the simulated PE that produced
+    /// them, exactly as the pooled engines record theirs.
+    pub(crate) fn run_traced(
+        &self,
+        program: &CompiledProgram,
+        args: &[Value],
+        opts: &RunOptions,
+        trace: TraceHandle,
+    ) -> Result<EngineOutcome, PodsError> {
+        check_invocation(program, args)?;
+        let start = Instant::now();
+        let (partitioned, partition) = program.partitioned(opts);
+        let sink = Box::new(RecorderExecSink { handle: trace });
+        let result = simulate_with_sink(&partitioned, args, &opts.machine_config(), sink)?;
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        Ok(EngineOutcome {
+            engine: self.name(),
+            return_value: result.return_value,
+            arrays: result.arrays,
+            modelled_us: Some(result.stats.elapsed_us),
+            wall_us,
+            stats: EngineStats::Simulated {
+                stats: result.stats,
+                partition,
+            },
+            diagnostics: None,
+        })
+    }
+}
 
 impl Engine for SimEngine {
     fn name(&self) -> &'static str {
@@ -43,6 +77,7 @@ impl Engine for SimEngine {
                 stats: result.stats,
                 partition,
             },
+            diagnostics: None,
         })
     }
 }

@@ -64,6 +64,9 @@ pub enum PodsError {
     DeadlineExceeded {
         /// The deadline the job was admitted under.
         deadline: std::time::Duration,
+        /// Where the job's time went (queue wait, dispatch, run, blocked),
+        /// rendered from the flight recorder. `None` when tracing was off.
+        breakdown: Option<String>,
     },
 }
 
@@ -104,11 +107,20 @@ impl std::fmt::Display for PodsError {
                  {capacity}; retry later, use the blocking `submit`, or raise \
                  `RuntimeBuilder::admission_capacity`"
             ),
-            PodsError::DeadlineExceeded { deadline } => write!(
-                f,
-                "job cancelled: deadline of {deadline:?} exceeded before the \
-                 job completed"
-            ),
+            PodsError::DeadlineExceeded {
+                deadline,
+                breakdown,
+            } => {
+                write!(
+                    f,
+                    "job cancelled: deadline of {deadline:?} exceeded before \
+                     the job completed"
+                )?;
+                if let Some(b) = breakdown {
+                    write!(f, " ({b})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -163,6 +175,7 @@ mod tests {
             },
             PodsError::DeadlineExceeded {
                 deadline: std::time::Duration::from_millis(250),
+                breakdown: None,
             },
         ];
         for e in cases {
@@ -186,11 +199,23 @@ mod tests {
     fn deadline_exceeded_display_round_trips_the_deadline() {
         let e = PodsError::DeadlineExceeded {
             deadline: std::time::Duration::from_millis(250),
+            breakdown: None,
         };
         let msg = e.to_string();
         assert!(msg.contains("250ms"), "deadline missing from: {msg}");
         // Drop-cancellation tests and callers match on "cancelled".
         assert!(msg.contains("cancelled"), "cancel marker missing: {msg}");
+    }
+
+    #[test]
+    fn deadline_exceeded_display_appends_the_breakdown() {
+        let e = PodsError::DeadlineExceeded {
+            deadline: std::time::Duration::from_millis(250),
+            breakdown: Some("job 3: queue 10µs, dispatch 2µs".into()),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("250ms"), "deadline missing from: {msg}");
+        assert!(msg.contains("queue 10µs"), "breakdown missing: {msg}");
     }
 
     #[test]

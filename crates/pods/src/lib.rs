@@ -61,6 +61,7 @@ mod pipeline;
 pub mod report;
 mod runtime;
 mod service;
+pub mod trace;
 
 pub use engine::{
     engine_by_name, AsyncCoopEngine, AsyncStats, Engine, EngineKind, EngineOutcome, EngineStats,
@@ -73,6 +74,7 @@ pub use pipeline::{
 };
 pub use runtime::{JobHandle, PreparedProgram, ProgramSource, Runtime, RuntimeBuilder};
 pub use service::{ClientId, ServiceMetrics};
+pub use trace::{JobBreakdown, JobTrace, TraceConfig, TraceEvent, TraceEventKind};
 
 // Re-export the pieces a downstream user needs to drive runs and interpret
 // results without depending on every sub-crate explicitly.

@@ -58,13 +58,14 @@
 
 use crate::engine::{
     build_read_slots, check_invocation, AsyncPool, EngineKind, EngineOutcome, EngineStats, JobSpec,
-    NativePool, ReadSlots,
+    NativePool, ReadSlots, SimEngine,
 };
 use crate::error::PodsError;
 use crate::pipeline::{CompiledProgram, RunOptions};
 use crate::service::metrics::MetricsRegistry;
 use crate::service::queue::{CancelKind, Ticket};
 use crate::service::{Admission, ClientId, JobService, PoolHandle, ServiceInner, ServiceMetrics};
+use crate::trace::{JobTrace, TraceConfig, TraceEventKind, TraceHandle, TraceRecorder};
 use pods_istructure::Value;
 use pods_partition::{ChunkPolicy, PartitionConfig, PartitionReport};
 use pods_sp::SpProgram;
@@ -86,6 +87,7 @@ pub struct RuntimeBuilder {
     admission_capacity: usize,
     dispatch_window: Option<usize>,
     client_weights: HashMap<ClientId, u32>,
+    trace: Option<TraceConfig>,
 }
 
 /// Default capacity of the runtime's prepared-program LRU cache.
@@ -112,6 +114,7 @@ impl RuntimeBuilder {
             admission_capacity: 0,
             dispatch_window: None,
             client_weights: HashMap::new(),
+            trace: None,
         }
     }
 
@@ -230,6 +233,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables the flight recorder: every layer of the runtime (service,
+    /// pooled schedulers, the shared exec core — and the machine simulator,
+    /// through the same hook) records timestamped events into bounded
+    /// per-worker rings, drained with [`Runtime::take_trace`]. Off by
+    /// default; `PODS_TRACE=1` in the environment enables it without a code
+    /// change (`PODS_TRACE_BUF` sets the ring size). See [`crate::trace`].
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Replaces the whole option block at once (for callers that already
     /// hold a [`RunOptions`], e.g. the compatibility wrappers).
     pub fn options(mut self, opts: RunOptions) -> Self {
@@ -248,6 +262,10 @@ impl RuntimeBuilder {
         });
         let metrics = Arc::new(MetricsRegistry::new(self.admission_capacity));
         let window = self.dispatch_window.unwrap_or(self.opts.num_pes).max(1);
+        let trace = self
+            .trace
+            .or_else(TraceConfig::from_env)
+            .map(|cfg| Arc::new(TraceRecorder::new(self.opts.num_pes, cfg.buffer_size)));
         let service = if self.kind.is_pooled() {
             Some(JobService::start(
                 Arc::downgrade(&backend),
@@ -256,6 +274,7 @@ impl RuntimeBuilder {
                 window,
                 self.client_weights,
                 Arc::clone(&metrics),
+                trace.clone(),
             ))
         } else {
             None
@@ -268,6 +287,7 @@ impl RuntimeBuilder {
             prepared_cap: self.prepared_cache,
             metrics,
             service,
+            trace,
         }
     }
 }
@@ -300,6 +320,9 @@ pub struct Runtime {
     /// The admission/fairness/deadline layer — `Some` exactly for the
     /// pooled engine kinds.
     service: Option<JobService>,
+    /// The flight recorder — `Some` when the runtime was built with
+    /// [`RuntimeBuilder::trace`] or `PODS_TRACE=1`.
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl Drop for Runtime {
@@ -518,6 +541,16 @@ impl Runtime {
             // replace an entry at the generation this retune started from.
             if cache[i].inner.autotuned == autotuned {
                 cache[i] = fresh;
+                if let Some(rec) = &self.trace {
+                    rec.emit(
+                        rec.service_lane(),
+                        0,
+                        0,
+                        TraceEventKind::ChunkRetuned {
+                            generation: (autotuned + 1) as u32,
+                        },
+                    );
+                }
             }
         }
     }
@@ -659,6 +692,25 @@ impl Runtime {
         self.metrics.snapshot()
     }
 
+    /// Drains the flight recorder: every event recorded since the last call
+    /// (or since the runtime was built), merged across lanes into one
+    /// time-ordered [`JobTrace`]. Serialize it with
+    /// [`JobTrace::chrome_trace`] for `chrome://tracing` / Perfetto, or
+    /// inspect per-job timing with [`JobTrace::breakdown`]. Returns an
+    /// empty trace when the runtime was built without
+    /// [`RuntimeBuilder::trace`] (and `PODS_TRACE` is unset).
+    pub fn take_trace(&self) -> JobTrace {
+        match &self.trace {
+            Some(rec) => rec.drain(),
+            None => JobTrace::default(),
+        }
+    }
+
+    /// Whether this runtime's flight recorder is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
     fn submit_inner<P: ProgramSource>(
         &self,
         client: ClientId,
@@ -685,7 +737,33 @@ impl Runtime {
         // the job is complete — and counted — before `submit` returns.
         self.metrics.note_submitted();
         let started = Instant::now();
-        let outcome = self.kind.engine().run(program.compiled(), args, &self.opts);
+        let trace_job = self.trace.as_ref().map(|rec| {
+            let job = rec.next_job_id();
+            let lane = rec.service_lane();
+            rec.emit(lane, job, 0, TraceEventKind::JobAdmitted);
+            rec.emit(lane, job, 0, TraceEventKind::JobDispatched);
+            (Arc::clone(rec), job)
+        });
+        let mut outcome = match (&trace_job, self.kind) {
+            // The simulator reaches the shared exec core too, so a traced
+            // run records the same core events as the pooled engines.
+            (Some((rec, job)), EngineKind::Sim) => SimEngine.run_traced(
+                program.compiled(),
+                args,
+                &self.opts,
+                TraceHandle {
+                    rec: Arc::clone(rec),
+                    job: *job,
+                },
+            ),
+            _ => self.kind.engine().run(program.compiled(), args, &self.opts),
+        };
+        if let Some((rec, job)) = &trace_job {
+            rec.emit(rec.service_lane(), *job, 0, TraceEventKind::JobFinished);
+            if let Ok(ok) = &mut outcome {
+                ok.diagnostics = rec.peek().breakdown(*job);
+            }
+        }
         self.metrics.note_completed(client, started.elapsed());
         Ok(JobHandle {
             inner: JobInner::Ready(Box::new(outcome)),
@@ -798,6 +876,7 @@ impl PreparedProgram {
             delivery_batch: opts.delivery_batch.max(1),
             chunks_autotuned: self.inner.autotuned,
             on_done: None,
+            trace: None,
         }
     }
 }
@@ -948,19 +1027,49 @@ impl JobHandle {
     pub fn wait(self) -> Result<EngineOutcome, PodsError> {
         match self.inner {
             JobInner::Ready(outcome) => *outcome,
-            JobInner::Service { ticket, .. } => {
+            JobInner::Service { svc, ticket } => {
                 let outcome = match ticket.claim() {
                     Ok(handle) => handle.wait(),
                     Err(err) => Err(err),
                 };
                 // A deadline cancellation surfaces from the engine as a
-                // generic stop; report it as the typed error instead.
+                // generic stop; report it as the typed error instead —
+                // carrying the flight-recorder breakdown when tracing is on.
                 if outcome.is_err() && ticket.cancel_kind() == Some(CancelKind::Deadline) {
                     return Err(PodsError::DeadlineExceeded {
                         deadline: ticket.deadline_dur.unwrap_or_default(),
+                        breakdown: svc.job_breakdown(ticket.trace_job),
                     });
                 }
-                outcome
+                match outcome {
+                    Ok(mut ok) => {
+                        // Attach the slow-job diagnostic to the outcome.
+                        if ticket.trace_job != 0 {
+                            if let Some(rec) = &svc.trace {
+                                ok.diagnostics = rec.peek().breakdown(ticket.trace_job);
+                            }
+                        }
+                        Ok(ok)
+                    }
+                    // Deadlocked jobs get the breakdown folded into the
+                    // error detail, pointing at where the time went.
+                    Err(PodsError::Simulation(pods_machine::SimulationError::Deadlock {
+                        stuck_instances,
+                        detail,
+                    })) => {
+                        let detail = match svc.job_breakdown(ticket.trace_job) {
+                            Some(b) => format!("{detail}; {b}"),
+                            None => detail,
+                        };
+                        Err(PodsError::Simulation(
+                            pods_machine::SimulationError::Deadlock {
+                                stuck_instances,
+                                detail,
+                            },
+                        ))
+                    }
+                    err => err,
+                }
             }
         }
     }

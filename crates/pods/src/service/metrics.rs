@@ -22,18 +22,36 @@ const BUCKETS: usize = 40;
 /// Fixed-bucket log2 latency histogram.
 struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Sum of every recorded sample in µs (for the Prometheus `_sum`).
+    sum_us: AtomicU64,
 }
 
 impl Histogram {
     fn new() -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
         }
     }
 
     fn record(&self, us: u64) {
         let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Cumulative `(upper_bound_us, count_at_or_below)` pairs, one per
+    /// bucket (bucket `i`'s upper bound is `2^i` µs).
+    fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut seen = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                seen += b.load(Ordering::Relaxed);
+                ((1u64 << i) as f64, seen)
+            })
+            .collect()
     }
 
     /// The upper bound (in µs) of the bucket containing the `q`-quantile
@@ -170,6 +188,8 @@ impl MetricsRegistry {
             },
             p50_latency_us: self.latency.percentile(0.50),
             p99_latency_us: self.latency.percentile(0.99),
+            latency_buckets: self.latency.cumulative(),
+            latency_sum_us: self.latency.sum_us.load(Ordering::Relaxed),
             peak_live_arrays: self.peak_live_arrays.load(Ordering::Relaxed),
             peak_array_bytes: self.peak_array_bytes.load(Ordering::Relaxed),
             arrays_allocated: self.arrays_allocated.load(Ordering::Relaxed),
@@ -215,6 +235,12 @@ pub struct ServiceMetrics {
     pub p50_latency_us: f64,
     /// 99th-percentile job latency in microseconds (bucket upper bound).
     pub p99_latency_us: f64,
+    /// The full latency histogram as cumulative `(upper_bound_us, count)`
+    /// pairs, one per power-of-two bucket (ascending bounds; the last
+    /// count equals `completed`). Feeds [`ServiceMetrics::render_prometheus`].
+    pub latency_buckets: Vec<(f64, u64)>,
+    /// Sum of all completed-job latencies in microseconds.
+    pub latency_sum_us: u64,
     /// Largest number of I-structure arrays any single job held live.
     pub peak_live_arrays: usize,
     /// Largest approximate I-structure byte footprint of any single job.
@@ -234,6 +260,125 @@ impl ServiceMetrics {
             .find(|(c, _)| *c == client)
             .map(|(_, n)| *n)
             .unwrap_or(0)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters for the submission lifecycle, gauges for
+    /// queue/pool occupancy, the job-latency histogram in seconds, and
+    /// per-client completion counters. Serve the string from a `/metrics`
+    /// endpoint or write it to a textfile-collector path.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut metric = |name: &str, help: &str, kind: &str, value: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        metric(
+            "pods_jobs_submitted_total",
+            "Submission attempts, including rejected ones.",
+            "counter",
+            self.submitted.to_string(),
+        );
+        metric(
+            "pods_jobs_completed_total",
+            "Jobs that ran to completion.",
+            "counter",
+            self.completed.to_string(),
+        );
+        metric(
+            "pods_jobs_rejected_total",
+            "Submissions rejected because the admission queue was full.",
+            "counter",
+            self.rejected.to_string(),
+        );
+        metric(
+            "pods_jobs_cancelled_total",
+            "Jobs cancelled by deadline, explicit cancel, or shutdown.",
+            "counter",
+            self.cancelled.to_string(),
+        );
+        metric(
+            "pods_admission_capacity",
+            "Configured admission-queue capacity (0 = unbounded).",
+            "gauge",
+            self.admission_capacity.to_string(),
+        );
+        metric(
+            "pods_queue_depth",
+            "Jobs admitted but not yet dispatched to the pool.",
+            "gauge",
+            self.queue_depth.to_string(),
+        );
+        metric(
+            "pods_queue_depth_peak",
+            "High-water mark of the admission-queue depth.",
+            "gauge",
+            self.queue_depth_peak.to_string(),
+        );
+        metric(
+            "pods_jobs_in_flight",
+            "Jobs currently executing on the pool.",
+            "gauge",
+            self.in_flight.to_string(),
+        );
+        metric(
+            "pods_peak_live_arrays",
+            "Largest number of I-structure arrays any single job held live.",
+            "gauge",
+            self.peak_live_arrays.to_string(),
+        );
+        metric(
+            "pods_peak_array_bytes",
+            "Largest approximate I-structure byte footprint of any job.",
+            "gauge",
+            self.peak_array_bytes.to_string(),
+        );
+        metric(
+            "pods_arrays_allocated_total",
+            "I-structure arrays allocated across all finished jobs.",
+            "counter",
+            self.arrays_allocated.to_string(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP pods_job_latency_seconds Job latency from admission to completion."
+        );
+        let _ = writeln!(out, "# TYPE pods_job_latency_seconds histogram");
+        for (bound_us, count) in &self.latency_buckets {
+            let _ = writeln!(
+                out,
+                "pods_job_latency_seconds_bucket{{le=\"{}\"}} {count}",
+                bound_us / 1e6
+            );
+        }
+        let total = self.latency_buckets.last().map_or(0, |(_, n)| *n);
+        let _ = writeln!(
+            out,
+            "pods_job_latency_seconds_bucket{{le=\"+Inf\"}} {total}"
+        );
+        let _ = writeln!(
+            out,
+            "pods_job_latency_seconds_sum {}",
+            self.latency_sum_us as f64 / 1e6
+        );
+        let _ = writeln!(out, "pods_job_latency_seconds_count {total}");
+        if !self.completed_by_client.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP pods_jobs_completed_by_client_total Completed jobs per client."
+            );
+            let _ = writeln!(out, "# TYPE pods_jobs_completed_by_client_total counter");
+            for (client, n) in &self.completed_by_client {
+                let _ = writeln!(
+                    out,
+                    "pods_jobs_completed_by_client_total{{client=\"{}\"}} {n}",
+                    client.0
+                );
+            }
+        }
+        out
     }
 }
 
@@ -285,6 +430,67 @@ mod tests {
         assert_eq!(snap.completed_for(ClientId(9)), 1);
         assert_eq!(snap.completed_for(ClientId(1)), 0);
         assert!(snap.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let m = MetricsRegistry::new(4);
+        for _ in 0..3 {
+            m.note_submitted();
+        }
+        m.note_completed(ClientId(7), Duration::from_micros(10));
+        m.note_completed(ClientId(9), Duration::from_micros(2000));
+        m.note_rejected();
+        let text = m.snapshot().render_prometheus();
+
+        // Every line is a comment or a `name{labels} value` sample whose
+        // value parses as a number.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(name.starts_with("pods_"), "unprefixed metric: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+        }
+        // Counters carry TYPE metadata and the lifecycle totals are there.
+        for needle in [
+            "# TYPE pods_jobs_submitted_total counter",
+            "pods_jobs_submitted_total 3",
+            "pods_jobs_completed_total 2",
+            "pods_jobs_rejected_total 1",
+            "# TYPE pods_job_latency_seconds histogram",
+            "pods_job_latency_seconds_count 2",
+            "pods_jobs_completed_by_client_total{client=\"7\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+        // Histogram buckets are cumulative with ascending bounds and the
+        // +Inf bucket equals the count.
+        let mut last_bound = f64::MIN;
+        let mut last_count = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("pods_job_latency_seconds_bucket{le=\""))
+        {
+            let rest = &line["pods_job_latency_seconds_bucket{le=\"".len()..];
+            let (bound, count) = rest.split_once("\"} ").unwrap();
+            let count: u64 = count.parse().unwrap();
+            assert!(count >= last_count, "non-cumulative bucket: {line}");
+            last_count = count;
+            if bound == "+Inf" {
+                assert_eq!(count, 2, "+Inf bucket must equal the count");
+            } else {
+                let bound: f64 = bound.parse().unwrap();
+                assert!(bound > last_bound, "non-ascending le: {line}");
+                last_bound = bound;
+            }
+        }
+        assert_eq!(last_count, 2);
     }
 
     #[test]

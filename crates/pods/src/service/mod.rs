@@ -45,6 +45,7 @@ use crate::engine::{
 use crate::error::PodsError;
 use crate::pipeline::RunOptions;
 use crate::runtime::Backend;
+use crate::trace::{TraceEventKind, TraceHandle, TraceRecorder};
 use fairness::FairQueue;
 use metrics::MetricsRegistry;
 use pods_istructure::{StoreStats, Value};
@@ -158,9 +159,24 @@ pub(crate) struct ServiceInner {
     /// Wakes submitters blocked on a full admission queue.
     slot_cv: Condvar,
     pub(crate) metrics: Arc<MetricsRegistry>,
+    /// The runtime's flight recorder, when tracing is enabled. Job-lifecycle
+    /// events land on the recorder's service lane; per-job handles travel to
+    /// the pool inside the job spec.
+    pub(crate) trace: Option<Arc<TraceRecorder>>,
 }
 
 impl ServiceInner {
+    /// Records one job-lifecycle event on the service lane. A no-op when
+    /// tracing is disabled (`job` 0 means the ticket predates the recorder).
+    fn trace_job_event(&self, job: u64, kind: TraceEventKind) {
+        if job == 0 {
+            return;
+        }
+        if let Some(rec) = &self.trace {
+            rec.emit(rec.service_lane(), job, 0, kind);
+        }
+    }
+
     /// Admits one job under the given admission mode. Returns its ticket,
     /// or `QueueFull` if the job was rejected (already counted).
     pub(crate) fn submit(
@@ -171,7 +187,9 @@ impl ServiceInner {
         mode: Admission,
     ) -> Result<Arc<Ticket>, PodsError> {
         self.metrics.note_submitted();
-        let ticket = Arc::new(Ticket::new(client, self.opts.deadline));
+        let trace_job = self.trace.as_ref().map_or(0, |rec| rec.next_job_id());
+        let ticket = Arc::new(Ticket::new(client, self.opts.deadline, trace_job));
+        self.trace_job_event(trace_job, TraceEventKind::JobAdmitted);
         let mut job = Some(QueuedJob {
             ticket: Arc::clone(&ticket),
             prepared,
@@ -258,6 +276,15 @@ impl ServiceInner {
         spec.on_done = Some(Arc::new(move |store: StoreStats| {
             hook_self.job_finished(&hook_ticket, store);
         }));
+        if let Some(rec) = &self.trace {
+            if ticket.trace_job != 0 {
+                spec.trace = Some(TraceHandle {
+                    rec: Arc::clone(rec),
+                    job: ticket.trace_job,
+                });
+                self.trace_job_event(ticket.trace_job, TraceEventKind::JobDispatched);
+            }
+        }
         let handle = backend.submit_pooled(spec, &args);
         let canceller = handle.canceller();
         ticket.dispatched(handle);
@@ -270,9 +297,11 @@ impl ServiceInner {
     fn job_finished(&self, ticket: &Arc<Ticket>, store: StoreStats) {
         match ticket.cancel_kind() {
             Some(_) => self.metrics.note_cancelled(),
-            None => self
-                .metrics
-                .note_completed(ticket.client, ticket.submitted.elapsed()),
+            None => {
+                self.trace_job_event(ticket.trace_job, TraceEventKind::JobFinished);
+                self.metrics
+                    .note_completed(ticket.client, ticket.submitted.elapsed());
+            }
         }
         self.metrics.absorb_store(store);
         let mut st = self.state.lock().expect("service state poisoned");
@@ -291,6 +320,7 @@ impl ServiceInner {
         if !removed.is_empty() {
             ticket.set_cancel_kind(CancelKind::User);
             ticket.cancelled(user_cancel_error().into());
+            self.trace_job_event(ticket.trace_job, TraceEventKind::JobCancelled);
             self.metrics.note_cancelled();
             self.metrics.set_depth(st.queue.len());
             drop(st);
@@ -306,9 +336,20 @@ impl ServiceInner {
         if let Some(c) = canceller {
             if !c.is_done() {
                 ticket.set_cancel_kind(CancelKind::User);
+                self.trace_job_event(ticket.trace_job, TraceEventKind::JobCancelled);
                 c.cancel(user_cancel_error());
             }
         }
+    }
+
+    /// Renders the flight-recorder breakdown for one job (for error
+    /// messages); `None` when tracing is off or nothing was recorded.
+    pub(crate) fn job_breakdown(&self, trace_job: u64) -> Option<String> {
+        if trace_job == 0 {
+            return None;
+        }
+        let rec = self.trace.as_ref()?;
+        Some(rec.peek().breakdown(trace_job)?.to_string())
     }
 }
 
@@ -344,8 +385,10 @@ fn dispatcher_loop(inner: Arc<ServiceInner>) {
             if !expired.is_empty() {
                 for qj in &expired {
                     qj.ticket.set_cancel_kind(CancelKind::Deadline);
+                    inner.trace_job_event(qj.ticket.trace_job, TraceEventKind::JobDeadline);
                     qj.ticket.cancelled(PodsError::DeadlineExceeded {
                         deadline: qj.ticket.deadline_dur.unwrap_or_default(),
+                        breakdown: inner.job_breakdown(qj.ticket.trace_job),
                     });
                     inner.metrics.note_cancelled();
                 }
@@ -357,6 +400,10 @@ fn dispatcher_loop(inner: Arc<ServiceInner>) {
                     Some(d) if d <= now => {
                         if entry.ticket.cancel_kind().is_none() && !entry.canceller.is_done() {
                             entry.ticket.set_cancel_kind(CancelKind::Deadline);
+                            inner.trace_job_event(
+                                entry.ticket.trace_job,
+                                TraceEventKind::JobDeadline,
+                            );
                             overdue.push(entry.canceller.clone());
                         }
                     }
@@ -426,6 +473,7 @@ impl JobService {
         window: usize,
         weights: HashMap<ClientId, u32>,
         metrics: Arc<MetricsRegistry>,
+        trace: Option<Arc<TraceRecorder>>,
     ) -> JobService {
         let inner = Arc::new(ServiceInner {
             backend,
@@ -440,6 +488,7 @@ impl JobService {
             work_cv: Condvar::new(),
             slot_cv: Condvar::new(),
             metrics,
+            trace,
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -467,6 +516,8 @@ impl JobService {
             self.inner.metrics.set_depth(0);
             for qj in &drained {
                 qj.ticket.set_cancel_kind(CancelKind::Shutdown);
+                self.inner
+                    .trace_job_event(qj.ticket.trace_job, TraceEventKind::JobCancelled);
                 qj.ticket.cancelled(cancellation_error().into());
                 self.inner.metrics.note_cancelled();
             }

@@ -71,10 +71,13 @@ pub(crate) struct Ticket {
     cv: Condvar,
     /// `CancelKind` as a first-wins atomic (0 = not cancelled).
     cancel_kind: AtomicU8,
+    /// Flight-recorder job id (0 when tracing is disabled), used to tag
+    /// lifecycle events and to look up the job's breakdown on wait.
+    pub(crate) trace_job: u64,
 }
 
 impl Ticket {
-    pub(crate) fn new(client: ClientId, deadline_dur: Option<Duration>) -> Ticket {
+    pub(crate) fn new(client: ClientId, deadline_dur: Option<Duration>, trace_job: u64) -> Ticket {
         let submitted = Instant::now();
         Ticket {
             client,
@@ -84,6 +87,7 @@ impl Ticket {
             state: Mutex::new(TicketState::Queued),
             cv: Condvar::new(),
             cancel_kind: AtomicU8::new(0),
+            trace_job,
         }
     }
 

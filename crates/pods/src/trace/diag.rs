@@ -1,0 +1,122 @@
+//! Slow-job diagnostics: a compact per-job breakdown derived from the
+//! recorded events, answering "where did this job's time go?" — queue wait
+//! vs dispatch delay vs actual run time vs blocked time.
+
+use super::events::TraceEventKind;
+use super::JobTrace;
+
+/// A compact per-job time breakdown, computed by [`JobTrace::breakdown`]
+/// and attached to pooled job outcomes (and deadline/deadlock errors) when
+/// tracing is enabled.
+///
+/// `run_us` sums the instance-run spans of the job across all workers, so
+/// on a multi-worker pool it can exceed the job's wall time; `blocked_us`
+/// sums suspension→resumption gaps per instance. Both are derived from the
+/// bounded rings, so a long job with dropped events underreports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobBreakdown {
+    /// The trace-job id the breakdown describes.
+    pub job: u64,
+    /// Admission → dispatch (time spent waiting in the fair queue).
+    pub queue_us: u64,
+    /// Dispatch → first instance running on a worker.
+    pub dispatch_us: u64,
+    /// Total busy time: the sum of this job's instance-run spans.
+    pub run_us: u64,
+    /// Total blocked time: the sum of suspension → resumption gaps.
+    pub blocked_us: u64,
+    /// Instances spawned for the job (as far as the rings recorded).
+    pub instances: u64,
+    /// Tasks of this job stolen across workers.
+    pub steals: u64,
+    /// Firing-rule suspensions recorded for the job.
+    pub suspensions: u64,
+    /// Events the recorder dropped (ring overflow) while the job ran —
+    /// non-zero means the other fields are lower bounds.
+    pub dropped: u64,
+}
+
+impl std::fmt::Display for JobBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {}: queue {}µs, dispatch {}µs, run {}µs, blocked {}µs \
+             ({} instances, {} steals, {} suspensions)",
+            self.job,
+            self.queue_us,
+            self.dispatch_us,
+            self.run_us,
+            self.blocked_us,
+            self.instances,
+            self.steals,
+            self.suspensions,
+        )?;
+        if self.dropped > 0 {
+            write!(f, " [{} events dropped]", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the breakdown for `job` from a merged trace; `None` when the
+/// trace holds no event attributed to that job.
+pub(crate) fn breakdown(trace: &JobTrace, job: u64) -> Option<JobBreakdown> {
+    let mut seen = false;
+    let mut admitted: Option<u64> = None;
+    let mut dispatched: Option<u64> = None;
+    let mut first_run: Option<u64> = None;
+    let mut out = JobBreakdown {
+        job,
+        dropped: trace.dropped,
+        ..JobBreakdown::default()
+    };
+    // Open run spans / suspensions keyed by (lane, instance) and instance.
+    let mut open_runs: Vec<(u32, u64, u64)> = Vec::new();
+    let mut open_suspends: Vec<(u64, u64)> = Vec::new();
+    for e in trace.events.iter().filter(|e| e.job == job) {
+        seen = true;
+        match e.kind {
+            TraceEventKind::JobAdmitted => admitted = admitted.or(Some(e.t_us)),
+            TraceEventKind::JobDispatched => dispatched = dispatched.or(Some(e.t_us)),
+            TraceEventKind::RunBegin => {
+                first_run = first_run.or(Some(e.t_us));
+                open_runs.push((e.lane, e.instance, e.t_us));
+            }
+            TraceEventKind::RunEnd => {
+                if let Some(i) = open_runs
+                    .iter()
+                    .rposition(|(l, inst, _)| *l == e.lane && *inst == e.instance)
+                {
+                    let (_, _, begin) = open_runs.swap_remove(i);
+                    out.run_us += e.t_us.saturating_sub(begin);
+                }
+            }
+            TraceEventKind::InstanceSpawned => out.instances += 1,
+            TraceEventKind::Steal { .. } => out.steals += 1,
+            TraceEventKind::Suspended { .. } => {
+                out.suspensions += 1;
+                open_suspends.push((e.instance, e.t_us));
+            }
+            TraceEventKind::Resumed => {
+                if let Some(i) = open_suspends
+                    .iter()
+                    .position(|(inst, _)| *inst == e.instance)
+                {
+                    let (_, begin) = open_suspends.swap_remove(i);
+                    out.blocked_us += e.t_us.saturating_sub(begin);
+                }
+            }
+            _ => {}
+        }
+    }
+    if !seen {
+        return None;
+    }
+    if let (Some(a), Some(d)) = (admitted, dispatched) {
+        out.queue_us = d.saturating_sub(a);
+    }
+    if let (Some(d), Some(r)) = (dispatched, first_run) {
+        out.dispatch_us = r.saturating_sub(d);
+    }
+    Some(out)
+}

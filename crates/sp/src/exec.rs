@@ -393,6 +393,46 @@ pub trait ArrayOps {
     fn store_element(&mut self, id: ArrayId, offset: usize, value: Value) -> Result<(), String>;
 }
 
+/// A trace event emitted by the shared execution core itself. These are the
+/// events only the core can see — the *reason* an instance suspends (the pc
+/// and slot the firing rule blocked on), the split-phase load that will
+/// eventually resume it (array id + pc), and in-place chunk advances.
+/// Scheduler-level events (spawns, steals, run spans) are emitted by the
+/// engines directly; together the two layers form one flight-recorder
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEvent {
+    /// The firing rule found `slot` absent at `pc`: the instance suspends
+    /// until that operand arrives.
+    Blocked {
+        /// Program counter of the blocked (consuming) instruction.
+        pc: usize,
+        /// The absent operand slot.
+        slot: SlotId,
+    },
+    /// A split-phase array read found no value: `array[...]` at `pc` was
+    /// deferred and a waiter was registered.
+    DeferredLoad {
+        /// The array whose element was absent.
+        array: ArrayId,
+        /// Program counter of the deferring load.
+        pc: usize,
+    },
+    /// The chunk driver advanced a chunked instance to its next outer
+    /// iteration in place (no new instance was spawned).
+    ChunkAdvanced,
+}
+
+/// A consumer of core-level trace events, threaded through
+/// [`ExecCtx::trace_sink`]. Engines implement this on their execution
+/// context (which knows the worker, job, and instance identity the core
+/// does not) and forward into their flight recorder; the machine simulator
+/// carries a boxed sink so simulated runs produce the same events.
+pub trait TraceSink {
+    /// Records one core event, attributed to virtual/physical PE `pe`.
+    fn exec_event(&mut self, pe: usize, ev: ExecEvent);
+}
+
 /// The per-engine execution context: one SP instance's frame plus the
 /// engine's scheduling hooks. [`execute_instr`] and [`run_instance`] drive
 /// this trait; implementations add nothing semantic.
@@ -455,6 +495,16 @@ pub trait ExecCtx: ArrayOps {
     /// engines count these to report the effective grain.
     #[inline(always)]
     fn chunk_advanced(&mut self) {}
+
+    /// Flight-recorder hook: the sink core-level [`ExecEvent`]s are
+    /// delivered to, or `None` when tracing is disabled. The default is a
+    /// constant `None`, so for engines that never trace the event emission
+    /// sites monomorphize to nothing — the same zero-cost-when-unused
+    /// pattern as [`ExecCtx::charge`].
+    #[inline(always)]
+    fn trace_sink(&mut self) -> Option<&mut dyn TraceSink> {
+        None
+    }
 
     /// Resolves an operand against the frame. Absent slots read as
     /// [`Value::Unit`]; the firing rule makes that unobservable for slots
@@ -603,7 +653,13 @@ pub fn execute_instr<C: ExecCtx>(ctx: &mut C, instr: &Instr) -> Result<Step, Str
                 // from a previous iteration is never consumed) and keep
                 // running; the firing rule of the consuming instruction
                 // blocks when it actually needs the value.
-                Loaded::Deferred => ctx.clear_slot(*dst),
+                Loaded::Deferred => {
+                    ctx.clear_slot(*dst);
+                    let (pc, pe) = (ctx.pc(), ctx.pe());
+                    if let Some(sink) = ctx.trace_sink() {
+                        sink.exec_event(pe, ExecEvent::DeferredLoad { array: id, pc });
+                    }
+                }
             }
             Ok(Step::Next)
         }
@@ -729,6 +785,10 @@ fn advance_chunk<C: ExecCtx>(ctx: &mut C, meta: &ChunkMeta) -> Result<bool, Stri
     }
     ctx.set_pc(0);
     ctx.chunk_advanced();
+    let pe = ctx.pe();
+    if let Some(sink) = ctx.trace_sink() {
+        sink.exec_event(pe, ExecEvent::ChunkAdvanced);
+    }
     Ok(true)
 }
 
@@ -772,6 +832,10 @@ pub fn run_instance<C: ExecCtx>(
             .find(|s| ctx.slot(*s).is_none())
         {
             ctx.charge(Cost::ContextSwitch);
+            let pe = ctx.pe();
+            if let Some(sink) = ctx.trace_sink() {
+                sink.exec_event(pe, ExecEvent::Blocked { pc, slot: missing });
+            }
             return Ok(RunExit::Blocked(missing));
         }
         match execute_instr(ctx, instr)? {

@@ -68,12 +68,27 @@ fn main() -> Result<(), pods::PodsError> {
             unreachable!("native runtime reports native stats");
         };
         println!(
-            "native runtime (4 workers, pool {} job {}): n={n}, {} of {} elements in {:.3} ms wall-clock",
+            "native runtime (pool {} job {}): n={n}, {} of {} elements in {:.3} ms wall-clock",
             stats.pool_id,
             stats.job_seq,
             native_array.written(),
             native_array.values.len(),
             native.wall_us / 1000.0
+        );
+        println!("  {}", native.summary());
+    }
+
+    // With `PODS_TRACE=1` the runtime records every scheduling event into
+    // per-worker ring buffers; export them as a Chrome/Perfetto trace.
+    if runtime.tracing_enabled() {
+        let trace = runtime.take_trace();
+        let path = "trace.json";
+        std::fs::write(path, trace.chrome_trace())
+            .unwrap_or_else(|e| panic!("could not write {path}: {e}"));
+        println!(
+            "flight recorder: {} events ({} dropped) -> {path}",
+            trace.events.len(),
+            trace.dropped
         );
     }
 
@@ -123,14 +138,12 @@ fn main() -> Result<(), pods::PodsError> {
         unreachable!("async runtime reports async stats");
     };
     println!(
-        "async runtime (4 workers, pool {}): {} tasks, {} polls, {} suspensions / {} resumptions, {} steals, {:.3} ms wall-clock",
+        "async runtime (pool {}): {} suspensions / {} resumptions, {:.3} ms wall-clock",
         stats.pool_id,
-        stats.instances,
-        stats.polls,
         stats.suspensions,
         stats.resumptions,
-        stats.steals,
         outcome.wall_us / 1000.0
     );
+    println!("  {}", outcome.summary());
     Ok(())
 }

@@ -280,7 +280,7 @@ fn deadlines_fire_as_deadline_exceeded_not_hangs() {
                 outcome.returned_array().unwrap().is_complete(),
                 "job {i} completed with holes"
             ),
-            Err(PodsError::DeadlineExceeded { deadline: d }) => {
+            Err(PodsError::DeadlineExceeded { deadline: d, .. }) => {
                 assert_eq!(d, deadline, "error must carry the configured deadline");
                 expired += 1;
             }
