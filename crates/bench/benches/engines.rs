@@ -26,7 +26,13 @@
 //!   inner iteration is paid once per chunk instead, with the measured
 //!   instance counts recorded next to the wall-clock. Gather's producer
 //!   loop has no eligible chunk site, so it doubles as the no-regression
-//!   control.
+//!   control;
+//! * `specialization` — warm prepared runs with the prepare-time
+//!   specialization pass on vs off (super-op dispatch vs the plain
+//!   interpreter) on a compute-dense polynomial fill plus fill, gather,
+//!   and recurrence, with the cold-prepare cost (which includes building
+//!   the plans) and per-run super-op counts recorded alongside the
+//!   wall-clock.
 //!
 //! Setting `PODS_CHUNK` (a grain size or `auto`) applies that chunk
 //! policy to every non-grain group, so a CI smoke run can execute the
@@ -67,6 +73,23 @@ fn gather_source(k: usize) -> String {
         "def main(n) {{\n    a = array(n);\n    for i = 0 to n - 1 {{ a[i] = i * 3; }}\n    \
          return {expr};\n}}\ndef probe(a, i) {{ return a[i] + 1; }}\n"
     )
+}
+
+/// A compute-dense fill: every element evaluates a degree-6 polynomial by
+/// Horner's rule — a straight line of ~12 fusible ALU instructions per
+/// store, whose only external inputs are the loop variable and the array
+/// ref. This is the shape prepare-time specialization targets: the body
+/// collapses into super-ops, so the warm path pays one firing check and
+/// zero `Instr` matches where the interpreter pays ~13 of each.
+fn poly_source() -> String {
+    "def main(n) {
+        a = array(n);
+        for i = 0 to n - 1 {
+            a[i] = (((((i * 3 + 1) * i + 7) * i + 11) * i + 13) * i + 17) * i + 19;
+        }
+        return a;
+    }"
+    .to_string()
 }
 
 /// A fine-grained fill: `n` rows of just two elements, so each spawned
@@ -512,6 +535,77 @@ fn bench_engines(c: &mut Criterion) {
                 ",\n    {{\"group\": \"tracing_overhead\", \"workload\": \"{workload}\", \
                  \"n\": {n}, \"engine\": \"trace-{mode}\", \"workers\": {reuse_workers}, \
                  \"mean_wall_us\": {mean_us:.1}}}"
+            ));
+        }
+        group.finish();
+    }
+
+    // specialization: the prepare-time specialization pass A/B on the warm
+    // native path. Poly is the showcase — a dozen fusible ALU ops per
+    // element, so per-instruction dispatch (the thing super-ops remove)
+    // dominates its runtime; fill's short store-heavy row bodies are
+    // scheduling-bound and show a smaller win; the read-heavy gather is
+    // split-phase-dominated (plans cover little, so it doubles as the
+    // no-regression control); the carried recurrence sits between. The
+    // cold `prepare` cost — which now includes building the plans — is
+    // measured separately, and the super-op count from one extra run
+    // shows how much of the warm path the plans actually covered.
+    // Poly runs at a fixed grain of 16: chunked instances amortise the
+    // per-instance spawn/park overhead, so what remains of its runtime is
+    // instruction execution — the cost the pass removes. The other three
+    // stay on the ambient policy (grain 1 unless PODS_CHUNK says
+    // otherwise), measuring the pass under the default configuration.
+    for (workload, source, n, chunk) in [
+        ("poly", poly_source(), 256i64, ChunkPolicy::Fixed(16)),
+        ("fill", pods_workloads::FILL.to_string(), 48, env_chunk),
+        ("gather", gather_source(64), 64, env_chunk),
+        (
+            "recurrence",
+            pods_workloads::RECURRENCE.to_string(),
+            96,
+            env_chunk,
+        ),
+    ] {
+        let program = pods::compile(&source).expect("workload compiles");
+        let mut group = c.benchmark_group(format!("specialization_{workload}_{n}"));
+        for mode in ["interpreted", "specialized"] {
+            let runtime = Runtime::builder(EngineKind::Native)
+                .workers(reuse_workers)
+                .chunk_policy(chunk)
+                .specialize(mode == "specialized")
+                .build();
+            // Cold-prepare cost (clone + partition + read-slot tables, plus
+            // the specialization pass when on), amortised over a few calls.
+            const PREPARES: usize = 16;
+            let prep_start = std::time::Instant::now();
+            for _ in 0..PREPARES - 1 {
+                std::hint::black_box(runtime.prepare(&program));
+            }
+            let prepared = runtime.prepare(&program);
+            let prepare_us = prep_start.elapsed().as_secs_f64() * 1e6 / PREPARES as f64;
+            let mut mean_us = 0.0;
+            group.bench_with_input(
+                BenchmarkId::new(mode, reuse_workers),
+                &reuse_workers,
+                |b, _| {
+                    b.iter(|| {
+                        for _ in 0..PREP_RUNS {
+                            runtime.run(&prepared, &[Value::Int(n)]).expect("bench run");
+                        }
+                    });
+                    mean_us = b.mean_ns / 1e3 / PREP_RUNS as f64;
+                },
+            );
+            let outcome = runtime.run(&prepared, &[Value::Int(n)]).expect("stats run");
+            let EngineStats::Native { stats, .. } = outcome.stats else {
+                panic!("native stats expected");
+            };
+            rows.push_str(&format!(
+                ",\n    {{\"group\": \"specialization\", \"workload\": \"{workload}\", \
+                 \"n\": {n}, \"engine\": \"{mode}\", \"workers\": {reuse_workers}, \
+                 \"mean_wall_us\": {mean_us:.1}, \"prepare_us\": {prepare_us:.1}, \
+                 \"super_ops\": {}}}",
+                stats.super_ops
             ));
         }
         group.finish();

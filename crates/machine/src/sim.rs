@@ -709,6 +709,7 @@ impl Simulation {
                 &template.code,
                 slot_table,
                 template.chunk_meta.as_ref(),
+                template.plan.as_ref(),
             )
         };
 

@@ -151,6 +151,13 @@ pub struct PartitionReport {
     pub chunked_spawns: usize,
     /// The largest chunk size applied (0 when nothing was chunked).
     pub chunk_size: usize,
+    /// Number of templates the specialization pass gave at least one
+    /// super-op (0 when specialization is disabled).
+    pub specialized_templates: usize,
+    /// Number of immediate operands fused in place by specialization.
+    pub fused_consts: usize,
+    /// Total super-ops across all template plans.
+    pub super_ops: usize,
 }
 
 impl PartitionReport {

@@ -98,6 +98,7 @@ pub(crate) struct AsyncJob {
     wakeup_flushes: AtomicU64,
     arena_reuses: AtomicU64,
     chunk_iterations: AtomicU64,
+    super_ops: AtomicU64,
     /// Adaptive-grain retunes applied before this job (see [`JobSpec`]).
     chunks_autotuned: u64,
     /// Completion hook (see [`JobSpec::on_done`]); fired exactly once, by
@@ -165,6 +166,7 @@ impl AsyncJob {
             wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
             chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
+            super_ops: self.super_ops.load(Ordering::Relaxed),
             chunks_autotuned: self.chunks_autotuned,
             store: self.store.stats(),
         }
@@ -471,12 +473,14 @@ impl ExecShared {
                     cache: &mut cache,
                     w,
                     worker: ctx,
+                    super_ops: 0,
                 };
                 exec::run_instance(
                     &mut cx,
                     &template.code,
                     slot_table,
                     template.chunk_meta.as_ref(),
+                    template.plan.as_ref(),
                 )
             };
             match exit {
@@ -573,6 +577,20 @@ struct AsyncCtx<'a> {
     cache: &'a mut ArrayCache,
     w: usize,
     worker: &'a mut WorkerCtx,
+    /// Super-op firings this poll segment, flushed to the job counter on
+    /// drop — one atomic per segment instead of one per firing, which is
+    /// too hot a path for a shared cache line.
+    super_ops: u64,
+}
+
+impl Drop for AsyncCtx<'_> {
+    fn drop(&mut self) {
+        if self.super_ops > 0 {
+            self.job
+                .super_ops
+                .fetch_add(self.super_ops, Ordering::Relaxed);
+        }
+    }
 }
 
 impl ArrayOps for AsyncCtx<'_> {
@@ -687,6 +705,11 @@ impl ExecCtx for AsyncCtx<'_> {
     #[inline(always)]
     fn chunk_advanced(&mut self) {
         self.job.chunk_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn super_op_fired(&mut self) {
+        self.super_ops += 1;
     }
 
     fn spawn(
@@ -842,6 +865,7 @@ impl AsyncPool {
             wakeup_flushes: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
             chunk_iterations: AtomicU64::new(0),
+            super_ops: AtomicU64::new(0),
             chunks_autotuned,
             on_done,
             trace,

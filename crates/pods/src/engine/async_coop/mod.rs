@@ -114,6 +114,10 @@ pub struct AsyncStats {
     /// each time the chunk driver advanced a task to its next iteration in
     /// place instead of spawning a fresh task.
     pub chunk_iterations: u64,
+    /// Super-op firings (the async analogue of
+    /// [`super::NativeStats::super_ops`]): whole fused runs executed in one
+    /// dispatch by the specialized driver.
+    pub super_ops: u64,
     /// Chunk-size retunes applied by [`crate::Runtime`]'s adaptive grain
     /// control before this job ran (0 on first runs and fixed policies).
     pub chunks_autotuned: u64,
@@ -148,11 +152,12 @@ impl std::fmt::Display for AsyncStats {
         write!(
             f,
             "async: {} worker(s), {} instances ({:.1} iter/instance), {} polls, \
-             {} suspensions, {} steals, {} wakeups in {} flushes, peak {} arrays",
+             {} super-ops, {} suspensions, {} steals, {} wakeups in {} flushes, peak {} arrays",
             self.workers,
             self.instances,
             self.iterations_per_instance(),
             self.polls,
+            self.super_ops,
             self.suspensions,
             self.steals,
             self.wakeups,

@@ -140,6 +140,11 @@ pub struct NativeStats {
     /// (instead of a fresh spawn) this grows by one. `0` when the program
     /// ran unchunked.
     pub chunk_iterations: u64,
+    /// Super-op firings: each time the specialized driver passed a hoisted
+    /// firing check and executed a whole fused run as one dispatch. `0`
+    /// when the program ran without a specialization plan
+    /// (`PODS_SPECIALIZE=0` or [`crate::RuntimeBuilder::specialize`]).
+    pub super_ops: u64,
     /// Chunk-size retunes applied by [`crate::Runtime`]'s adaptive grain
     /// control before this job ran (0 on the first run of a program and
     /// whenever the chunk policy is fixed).
@@ -174,11 +179,12 @@ impl std::fmt::Display for NativeStats {
         write!(
             f,
             "native: {} worker(s), {} instances ({:.1} iter/instance), {} tasks, \
-             {} parks, {} steals, {} wakeups in {} flushes, peak {} arrays",
+             {} super-ops, {} parks, {} steals, {} wakeups in {} flushes, peak {} arrays",
             self.workers,
             self.instances,
             self.iterations_per_instance(),
             self.tasks,
+            self.super_ops,
             self.parks,
             self.steals,
             self.wakeups,
@@ -369,6 +375,7 @@ struct Job {
     wakeup_flushes: AtomicU64,
     arena_reuses: AtomicU64,
     chunk_iterations: AtomicU64,
+    super_ops: AtomicU64,
 }
 
 impl Job {
@@ -425,6 +432,7 @@ impl Job {
             wakeup_flushes: self.wakeup_flushes.load(Ordering::Relaxed),
             arena_reuses: self.arena_reuses.load(Ordering::Relaxed),
             chunk_iterations: self.chunk_iterations.load(Ordering::Relaxed),
+            super_ops: self.super_ops.load(Ordering::Relaxed),
             chunks_autotuned: self.chunks_autotuned,
             store: self.store.stats(),
         }
@@ -740,12 +748,14 @@ impl PoolShared {
                     cache: &mut cache,
                     w,
                     worker: ctx,
+                    super_ops: 0,
                 };
                 exec::run_instance(
                     &mut cx,
                     &template.code,
                     slot_table,
                     template.chunk_meta.as_ref(),
+                    template.plan.as_ref(),
                 )
             };
             match exit {
@@ -846,6 +856,20 @@ struct NativeCtx<'a> {
     cache: &'a mut ArrayCache,
     w: usize,
     worker: &'a mut WorkerCtx,
+    /// Super-op firings this run segment, flushed to the job counter on
+    /// drop — one atomic per segment instead of one per firing, which is
+    /// too hot a path for a shared cache line.
+    super_ops: u64,
+}
+
+impl Drop for NativeCtx<'_> {
+    fn drop(&mut self) {
+        if self.super_ops > 0 {
+            self.job
+                .super_ops
+                .fetch_add(self.super_ops, Ordering::Relaxed);
+        }
+    }
 }
 
 impl ArrayOps for NativeCtx<'_> {
@@ -960,6 +984,11 @@ impl ExecCtx for NativeCtx<'_> {
     #[inline(always)]
     fn chunk_advanced(&mut self) {
         self.job.chunk_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn super_op_fired(&mut self) {
+        self.super_ops += 1;
     }
 
     fn spawn(
@@ -1120,6 +1149,7 @@ impl NativePool {
             wakeup_flushes: AtomicU64::new(0),
             arena_reuses: AtomicU64::new(0),
             chunk_iterations: AtomicU64::new(0),
+            super_ops: AtomicU64::new(0),
         });
         let home = (seq as usize - 1) % self.shared.workers;
         // Submission happens off the worker threads, so the entry frame

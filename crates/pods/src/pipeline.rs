@@ -52,6 +52,20 @@ pub struct RunOptions {
     /// deadline. The modelled engines run eagerly inside `submit` and
     /// ignore it.
     pub deadline: Option<std::time::Duration>,
+    /// Run the prepare-time specialization pass
+    /// ([`pods_sp::specialize_program`]) when partitioning: operand fetches
+    /// pre-resolved, straight-line runs fused into super-ops the driver
+    /// executes directly. Defaults to the `PODS_SPECIALIZE` environment
+    /// variable (`0` disables, anything else — including unset — enables);
+    /// [`crate::RuntimeBuilder::specialize`] overrides per runtime. The
+    /// `seq` / `pr` engines interpret the HIR and ignore it.
+    pub specialize: bool,
+}
+
+/// Reads the `PODS_SPECIALIZE` escape hatch: specialization is on unless
+/// the variable is exactly `"0"`.
+fn specialize_from_env() -> bool {
+    !matches!(std::env::var("PODS_SPECIALIZE").as_deref(), Ok("0"))
 }
 
 impl Default for RunOptions {
@@ -64,6 +78,7 @@ impl Default for RunOptions {
             max_events: 0,
             delivery_batch: 16,
             deadline: None,
+            specialize: specialize_from_env(),
         }
     }
 }
@@ -155,8 +170,18 @@ impl CompiledProgram {
         boost: usize,
     ) -> (SpProgram, PartitionReport) {
         let mut program = self.sp.clone();
-        let report =
+        let mut report =
             partition_with_chunk_boost(&mut program, &self.loops, &options.partition, boost);
+        if options.specialize {
+            // Specialization runs after partitioning so the plans cover the
+            // partitioned code exactly (RF prologues, chunked bodies). Every
+            // prepare path — explicit, cached auto-prepare, grain retune —
+            // funnels through here, so a plan is never stale.
+            let summary = pods_sp::specialize_program(&mut program);
+            report.specialized_templates = summary.specialized_templates;
+            report.fused_consts = summary.fused_consts;
+            report.super_ops = summary.super_ops;
+        }
         (program, report)
     }
 
@@ -448,6 +473,32 @@ mod tests {
         assert!((points[0].speedup - 1.0).abs() < 1e-9);
         assert!(points[2].speedup > points[0].speedup);
         assert!(points[2].eu_utilization > 0.0);
+    }
+
+    #[test]
+    fn partitioning_attaches_specialization_plans() {
+        let program = compile(MATRIX_FILL).unwrap();
+        let on = RunOptions {
+            specialize: true,
+            ..RunOptions::with_pes(2)
+        };
+        let (sp, report) = program.partitioned(&on);
+        assert!(report.specialized_templates > 0);
+        assert!(report.super_ops > 0);
+        assert!(sp.templates().iter().all(|t| t.plan.is_some()));
+
+        let off = RunOptions {
+            specialize: false,
+            ..RunOptions::with_pes(2)
+        };
+        let (sp, report) = program.partitioned(&off);
+        assert_eq!((report.specialized_templates, report.super_ops), (0, 0));
+        assert!(sp.templates().iter().all(|t| t.plan.is_none()));
+        assert_ne!(
+            program.partitioned(&on).0.fingerprint(),
+            sp.fingerprint(),
+            "specialization is part of structural identity"
+        );
     }
 
     #[test]

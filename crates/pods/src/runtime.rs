@@ -180,6 +180,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables or disables the prepare-time specialization pass (default:
+    /// the `PODS_SPECIALIZE` environment variable, which is on unless set
+    /// to `0`). Specialization pre-resolves operand fetches and fuses
+    /// straight-line runs into super-ops at prepare time; disabling it
+    /// keeps every instruction on the plain interpreter loop — useful for
+    /// debugging and A/B benching. Part of prepared identity: a handle
+    /// prepared with one setting will not run on a runtime with the other.
+    pub fn specialize(mut self, enabled: bool) -> Self {
+        self.opts.specialize = enabled;
+        self
+    }
+
     /// Capacity of the prepared-program LRU cache used when raw
     /// [`CompiledProgram`]s are submitted (default 16 programs). `0`
     /// disables the cache: every raw submission re-clones and re-partitions
@@ -487,6 +499,7 @@ impl Runtime {
                 identity: program.identity(),
                 fingerprint: sp.fingerprint(),
                 partition_cfg: self.opts.partition,
+                specialize: self.opts.specialize,
                 source: program.clone(),
                 sp,
                 read_slots: Arc::new(read_slots),
@@ -810,6 +823,10 @@ struct PreparedInner {
     fingerprint: u64,
     /// The partitioner configuration the program was prepared under.
     partition_cfg: PartitionConfig,
+    /// Whether the prepare-time specialization pass ran (part of prepared
+    /// identity: plans alter the warm path, so a handle only runs on
+    /// runtimes with the same setting).
+    specialize: bool,
     /// The compiled program this was prepared from, retained so the same
     /// handle also runs on modelled-engine runtimes (which partition
     /// internally) and so invocations can be validated. This is a full
@@ -954,7 +971,9 @@ impl ProgramSource for &PreparedProgram {
     }
 
     fn check_compatible(&self, runtime: &Runtime) -> Result<(), PodsError> {
-        if self.inner.partition_cfg != runtime.opts.partition {
+        if self.inner.partition_cfg != runtime.opts.partition
+            || self.inner.specialize != runtime.opts.specialize
+        {
             return Err(PodsError::PreparedMismatch);
         }
         Ok(())

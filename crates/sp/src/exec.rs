@@ -60,6 +60,7 @@
 //!   negation and absolute value overflowed the same way.
 
 use crate::instr::{Instr, Operand, SlotId, SpId};
+use crate::specialize::{Fetch, FusedOp, PlanOp, SuperOp, TemplatePlan};
 use crate::template::{ChunkMeta, SpProgram};
 use pods_idlang::{BinaryOp, UnaryOp};
 use pods_istructure::{ArrayHeader, ArrayId, DimRange, PeId, Value};
@@ -496,6 +497,13 @@ pub trait ExecCtx: ArrayOps {
     #[inline(always)]
     fn chunk_advanced(&mut self) {}
 
+    /// Called by the specialized driver each time a super-op fires (its
+    /// hoisted firing check passed and the whole fused run executes).
+    /// Default: no-op; the pooled engines count these to report how much of
+    /// the warm path ran through pre-resolved plans.
+    #[inline(always)]
+    fn super_op_fired(&mut self) {}
+
     /// Flight-recorder hook: the sink core-level [`ExecEvent`]s are
     /// delivered to, or `None` when tracing is disabled. The default is a
     /// constant `None`, so for engines that never trace the event emission
@@ -793,9 +801,15 @@ fn advance_chunk<C: ExecCtx>(ctx: &mut C, meta: &ChunkMeta) -> Result<bool, Stri
 }
 
 /// Runs one SP instance until it terminates, blocks on an absent operand,
-/// or the context's stop signal fires. This is the shared driver loop:
-/// firing-rule check (against the precomputed `read_slots` table for the
-/// instance's template), then [`execute_instr`], then pc update.
+/// or the context's stop signal fires.
+///
+/// When the template carries a specialization `plan` (attached at prepare
+/// time by [`crate::specialize::specialize_program`]) the instance executes
+/// through the direct-threaded `run_specialized` driver: straight-line
+/// runs fire as single super-ops with one hoisted firing check, and only
+/// unspecializable instructions (split-phase loads, spawns, branches, RF
+/// prologues) fall back to the interpreter. Without a plan the plain
+/// interpreter loop runs every instruction, exactly as before.
 ///
 /// For chunked templates (`chunk` is `Some`), a completed pass over the
 /// code is not necessarily the end of the instance: the driver advances the
@@ -806,6 +820,22 @@ fn advance_chunk<C: ExecCtx>(ctx: &mut C, meta: &ChunkMeta) -> Result<bool, Stri
 ///
 /// Propagates the first runtime-error message from [`execute_instr`].
 pub fn run_instance<C: ExecCtx>(
+    ctx: &mut C,
+    code: &[Instr],
+    read_slots: &[Vec<SlotId>],
+    chunk: Option<&ChunkMeta>,
+    plan: Option<&TemplatePlan>,
+) -> Result<RunExit, String> {
+    match plan {
+        Some(plan) => run_specialized(ctx, code, read_slots, chunk, plan),
+        None => run_interpreted(ctx, code, read_slots, chunk),
+    }
+}
+
+/// The plain interpreter loop: firing-rule check (against the precomputed
+/// `read_slots` table for the instance's template), then [`execute_instr`],
+/// then pc update.
+fn run_interpreted<C: ExecCtx>(
     ctx: &mut C,
     code: &[Instr],
     read_slots: &[Vec<SlotId>],
@@ -839,6 +869,166 @@ pub fn run_instance<C: ExecCtx>(
             return Ok(RunExit::Blocked(missing));
         }
         match execute_instr(ctx, instr)? {
+            Step::Next => ctx.set_pc(pc + 1),
+            Step::Jump(target) => ctx.set_pc(target),
+            Step::Finished(v) => {
+                if v.is_none() {
+                    if let Some(meta) = chunk {
+                        if advance_chunk(ctx, meta)? {
+                            continue;
+                        }
+                    }
+                }
+                return Ok(RunExit::Finished(v));
+            }
+        }
+    }
+}
+
+/// Resolves one pre-computed fetch plan against the frame. Slot fetches
+/// behind a passed firing check are always present; the [`Value::Unit`]
+/// fallback mirrors [`ExecCtx::operand`] and is unobservable. `last` is the
+/// value the previous fused op of the run produced, forwarded in a register
+/// for [`Fetch::Prev`] operands — the producer also wrote it to its
+/// destination slot, so the frame an engine (or a blocked resume) observes
+/// is bit-identical to the interpreter's.
+#[inline(always)]
+fn fetch<C: ExecCtx>(ctx: &C, f: &Fetch, last: Value) -> Value {
+    match f {
+        Fetch::Slot(s) => ctx.slot(*s).unwrap_or(Value::Unit),
+        Fetch::Const(v) => *v,
+        Fetch::Prev => last,
+    }
+}
+
+/// Executes one whole super-op body whose firing check already passed,
+/// threading each op's produced value into the next for [`Fetch::Prev`]
+/// register chaining. Kept out-of-line so the fused dispatch loop gets its
+/// own optimization context, exactly like the standalone [`execute_instr`]
+/// the interpreter loop calls into.
+#[inline(never)]
+fn execute_super<C: ExecCtx>(ctx: &mut C, sup: &SuperOp) -> Result<(), String> {
+    let mut last = Value::Unit;
+    for op in &sup.ops {
+        last = execute_fused(ctx, op, last)?;
+    }
+    Ok(())
+}
+
+/// Executes one fused op from a super-op body and returns the value it
+/// produced (for [`Fetch::Prev`] chaining; stores produce nothing). Charges
+/// and side effects are identical to the corresponding [`execute_instr`]
+/// arm — only the operand resolution (already done at prepare time)
+/// differs.
+#[inline(always)]
+fn execute_fused<C: ExecCtx>(ctx: &mut C, op: &FusedOp, last: Value) -> Result<Value, String> {
+    match op {
+        FusedOp::Binary { op, dst, lhs, rhs } => {
+            let a = fetch(ctx, lhs, last);
+            let b = fetch(ctx, rhs, last);
+            ctx.charge(Cost::Binary {
+                op: *op,
+                float: a.is_float() || b.is_float(),
+            });
+            let v = eval_binary(*op, a, b).map_err(|e| e.to_string())?;
+            ctx.set_slot(*dst, v);
+            Ok(v)
+        }
+        FusedOp::Unary { op, dst, src } => {
+            let a = fetch(ctx, src, last);
+            ctx.charge(Cost::Unary {
+                op: *op,
+                float: a.is_float(),
+            });
+            let v = eval_unary(*op, a).map_err(|e| e.to_string())?;
+            ctx.set_slot(*dst, v);
+            Ok(v)
+        }
+        FusedOp::Move { dst, src } => {
+            let v = fetch(ctx, src, last);
+            ctx.charge(Cost::Move);
+            ctx.set_slot(*dst, v);
+            Ok(v)
+        }
+        FusedOp::ArrayStore {
+            array,
+            indices,
+            value,
+        } => {
+            let id = expect_array(fetch(ctx, array, last))?;
+            let idx: Vec<i64> = indices
+                .iter()
+                .map(|i| fetch(ctx, i, last).as_i64().unwrap_or(-1))
+                .collect();
+            let v = fetch(ctx, value, last);
+            let offset = ctx.with_header(id, |h| element_offset(h, &idx))??;
+            ctx.charge(Cost::ArrayAccess);
+            ctx.store_element(id, offset, v)?;
+            Ok(Value::Unit)
+        }
+    }
+}
+
+/// The direct-threaded specialized driver: walks the prepare-time plan,
+/// firing whole straight-line runs as single super-ops and deferring to the
+/// interpreter for everything the pass left as [`PlanOp::Interp`].
+///
+/// Super-op semantics are all-or-nothing: the hoisted firing list (every
+/// slot the run reads that is not produced inside the run) is checked
+/// *before any side effect*, so a blocked run left the frame untouched and
+/// simply re-fires from its head pc on resume. The blocked *slot* reported
+/// is identical to the interpreter's (instruction order, then operand
+/// order); only the blocked *pc* differs — the run head instead of the
+/// consuming instruction.
+fn run_specialized<C: ExecCtx>(
+    ctx: &mut C,
+    code: &[Instr],
+    read_slots: &[Vec<SlotId>],
+    chunk: Option<&ChunkMeta>,
+    plan: &TemplatePlan,
+) -> Result<RunExit, String> {
+    loop {
+        if ctx.should_stop() {
+            return Ok(RunExit::Stopped);
+        }
+        let pc = ctx.pc();
+        if pc >= code.len() {
+            if let Some(meta) = chunk {
+                if advance_chunk(ctx, meta)? {
+                    continue;
+                }
+            }
+            return Ok(RunExit::Finished(None));
+        }
+        if let Some(PlanOp::Super(sup)) = plan.ops.get(pc) {
+            if let Some(missing) = sup.firing.iter().copied().find(|s| ctx.slot(*s).is_none()) {
+                ctx.charge(Cost::ContextSwitch);
+                let pe = ctx.pe();
+                if let Some(sink) = ctx.trace_sink() {
+                    sink.exec_event(pe, ExecEvent::Blocked { pc, slot: missing });
+                }
+                return Ok(RunExit::Blocked(missing));
+            }
+            ctx.super_op_fired();
+            execute_super(ctx, sup)?;
+            ctx.set_pc(pc + sup.ops.len());
+            continue;
+        }
+        // Interpreter fallback for unspecializable instructions (and any
+        // mid-run pc a resume could conceivably land on).
+        if let Some(missing) = read_slots[pc]
+            .iter()
+            .copied()
+            .find(|s| ctx.slot(*s).is_none())
+        {
+            ctx.charge(Cost::ContextSwitch);
+            let pe = ctx.pe();
+            if let Some(sink) = ctx.trace_sink() {
+                sink.exec_event(pe, ExecEvent::Blocked { pc, slot: missing });
+            }
+            return Ok(RunExit::Blocked(missing));
+        }
+        match execute_instr(ctx, &code[pc])? {
             Step::Next => ctx.set_pc(pc + 1),
             Step::Jump(target) => ctx.set_pc(target),
             Step::Finished(v) => {
@@ -1571,7 +1761,7 @@ mod tests {
         ];
         let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
         let mut ctx = TestCtx::new(4).with_array(0, &[4], 8);
-        let exit = run_instance(&mut ctx, &code, &read_slots, None).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, None, None).unwrap();
         assert_eq!(exit, RunExit::Blocked(s(1)));
         assert_eq!(ctx.pc, 2, "blocked at the consumer, past the issued load");
         assert_eq!(ctx.waiters.len(), 1, "the load registered its waiter");
@@ -1582,7 +1772,7 @@ mod tests {
 
         // Delivering the value and re-entering finishes the instance.
         ctx.set_slot(s(1), Value::Int(41));
-        let exit = run_instance(&mut ctx, &code, &read_slots, None).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, None, None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         assert_eq!(ctx.slot(s(2)), Some(Value::Int(42)));
     }
@@ -1597,12 +1787,12 @@ mod tests {
         let mut ctx = TestCtx::new(1);
         ctx.stop = true;
         assert_eq!(
-            run_instance(&mut ctx, &code, &read_slots, None).unwrap(),
+            run_instance(&mut ctx, &code, &read_slots, None, None).unwrap(),
             RunExit::Stopped
         );
         ctx.stop = false;
         assert_eq!(
-            run_instance(&mut ctx, &code, &read_slots, None).unwrap(),
+            run_instance(&mut ctx, &code, &read_slots, None, None).unwrap(),
             RunExit::Finished(None),
             "running off the end finishes with no value"
         );
@@ -1647,7 +1837,7 @@ mod tests {
             .with_array(0, &[8], 8)
             .with_slot(1, Value::Int(2))
             .with_slot(2, Value::Int(7));
-        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta), None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         // Chunk budget 3 starting at cursor 2: iterations 2, 3, 4.
         for (i, cell) in ctx.arrays[0].1.iter().enumerate() {
@@ -1666,7 +1856,7 @@ mod tests {
             .with_array(0, &[8], 8)
             .with_slot(1, Value::Int(6))
             .with_slot(2, Value::Int(7));
-        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta), None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         assert_eq!(ctx.arrays[0].1[6], Some(Value::Int(60)));
         assert_eq!(ctx.arrays[0].1[7], Some(Value::Int(70)));
@@ -1684,7 +1874,7 @@ mod tests {
             .with_array(0, &[8], 8)
             .with_slot(1, Value::Int(0))
             .with_slot(2, Value::Float(2.5));
-        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta), None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         let written: Vec<usize> = ctx.arrays[0]
             .1
@@ -1705,7 +1895,7 @@ mod tests {
             .with_array(0, &[8], 8)
             .with_slot(1, Value::Int(5))
             .with_slot(2, Value::Int(4));
-        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta)).unwrap();
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta), None).unwrap();
         assert_eq!(exit, RunExit::Finished(None));
         assert_eq!(ctx.arrays[0].1[5], Some(Value::Int(50)));
         assert_eq!(ctx.arrays[0].1[4], Some(Value::Int(40)));
@@ -1714,6 +1904,115 @@ mod tests {
         // between iterations means each store read a freshly computed s4,
         // never a stale one (the distinct stored values above prove it).
         assert_eq!(ctx.slot(s(4)), Some(Value::Int(40)));
+    }
+
+    #[test]
+    fn specialized_driver_agrees_with_the_interpreter() {
+        // A straight-line ALU run with fused immediates: the specialized
+        // driver must produce the same frame *and the same cost stream* as
+        // the interpreter — charges are per fused op, not per super-op.
+        let code = vec![
+            Instr::Move {
+                dst: s(2),
+                src: Operand::Int(5),
+            },
+            Instr::Binary {
+                op: BinaryOp::Add,
+                dst: s(3),
+                lhs: slot_op(0),
+                rhs: slot_op(2),
+            },
+            Instr::Binary {
+                op: BinaryOp::Mul,
+                dst: s(4),
+                lhs: slot_op(3),
+                rhs: Operand::Int(2),
+            },
+            Instr::Return { value: None },
+        ];
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let (plan, _) = crate::specialize::build_plan(&code);
+        assert_eq!(plan.super_ops(), 1);
+
+        let mut interp = TestCtx::new(5).with_slot(0, Value::Int(8));
+        let exit = run_instance(&mut interp, &code, &read_slots, None, None).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+
+        let mut spec = TestCtx::new(5).with_slot(0, Value::Int(8));
+        let exit = run_instance(&mut spec, &code, &read_slots, None, Some(&plan)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+
+        assert_eq!(spec.slots, interp.slots);
+        assert_eq!(spec.slot(s(4)), Some(Value::Int(26)));
+        assert_eq!(spec.costs, interp.costs, "identical per-op charges");
+    }
+
+    #[test]
+    fn blocked_super_op_leaves_the_frame_untouched_and_refires() {
+        // The run writes s4, stores it into the single-assignment array,
+        // then consumes the absent s1. All-or-nothing semantics: the
+        // hoisted firing check blocks *before* the store happens, so the
+        // resume can re-fire the whole run without a double-store fault.
+        let code = vec![
+            Instr::Move {
+                dst: s(4),
+                src: Operand::Int(7),
+            },
+            Instr::ArrayStore {
+                array: slot_op(0),
+                indices: vec![Operand::Int(0)],
+                value: slot_op(4),
+            },
+            Instr::Binary {
+                op: BinaryOp::Add,
+                dst: s(5),
+                lhs: slot_op(1),
+                rhs: slot_op(4),
+            },
+            Instr::Return { value: None },
+        ];
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let (plan, _) = crate::specialize::build_plan(&code);
+        assert_eq!(plan.super_ops(), 1);
+
+        let mut ctx = TestCtx::new(6).with_array(0, &[4], 8);
+        let exit = run_instance(&mut ctx, &code, &read_slots, None, Some(&plan)).unwrap();
+        assert_eq!(exit, RunExit::Blocked(s(1)), "same blocked slot as interp");
+        assert_eq!(ctx.pc, 0, "blocked at the run head, ready to re-fire");
+        assert_eq!(ctx.slot(s(4)), None, "no partial side effects");
+        assert_eq!(ctx.arrays[0].1[0], None, "the store did not happen");
+        assert!(ctx.costs.contains(&Cost::ContextSwitch));
+
+        // Delivering the operand re-fires the whole run: the store lands
+        // exactly once (a replay would fault the single-assignment cell).
+        ctx.set_slot(s(1), Value::Int(35));
+        let exit = run_instance(&mut ctx, &code, &read_slots, None, Some(&plan)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        assert_eq!(ctx.arrays[0].1[0], Some(Value::Int(7)));
+        assert_eq!(ctx.slot(s(5)), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn specialized_driver_interoperates_with_the_chunk_driver() {
+        // A chunked template whose whole body is one super-op: the chunk
+        // driver resets pc to 0 between iterations, which re-enters the
+        // super-op at its head — the plan and the chunk cursor compose.
+        let (code, meta) = chunked_store_template();
+        let read_slots: Vec<Vec<SlotId>> = code.iter().map(|i| i.read_slots()).collect();
+        let (plan, _) = crate::specialize::build_plan(&code);
+        assert_eq!(plan.super_ops(), 1);
+
+        let mut ctx = TestCtx::new(5)
+            .with_array(0, &[8], 8)
+            .with_slot(1, Value::Int(2))
+            .with_slot(2, Value::Int(7));
+        let exit = run_instance(&mut ctx, &code, &read_slots, Some(&meta), Some(&plan)).unwrap();
+        assert_eq!(exit, RunExit::Finished(None));
+        for (i, cell) in ctx.arrays[0].1.iter().enumerate() {
+            let expected = (2..=4).contains(&i).then(|| Value::Int(i as i64 * 10));
+            assert_eq!(*cell, expected, "a[{i}]");
+        }
+        assert_eq!(ctx.slot(s(3)), Some(Value::Int(3)), "taken counter");
     }
 
     #[test]

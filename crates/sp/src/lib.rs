@@ -10,7 +10,11 @@
 //! * SP templates and programs ([`SpTemplate`], [`SpProgram`]), including the
 //!   loop metadata the partitioner uses to insert Range Filters,
 //! * the translator from the `idlang` HIR to SP templates ([`translate()`]),
-//!   which makes each function and each loop-nest level a separate SP, and
+//!   which makes each function and each loop-nest level a separate SP,
+//! * the prepare-time specialization pass ([`specialize_program`]): operand
+//!   fetches pre-resolved, straight-line runs collapsed into super-ops with
+//!   one hoisted firing check, carried per template as a [`TemplatePlan`]
+//!   that the shared driver executes directly, and
 //! * the shared instruction-execution core ([`exec`]): the single audited
 //!   implementation of SP semantics (operand coercion, the firing rule,
 //!   split-phase loads, Range-Filter clamping), generic over a suspension
@@ -36,10 +40,12 @@
 pub mod chunk;
 pub mod exec;
 pub mod instr;
+pub mod specialize;
 pub mod template;
 pub mod translate;
 
 pub use chunk::{chunk_loop_spawns, ChunkPolicy, ChunkSummary};
 pub use instr::{Instr, Operand, SlotId, SpId};
+pub use specialize::{specialize_program, SpecializeSummary, TemplatePlan};
 pub use template::{ChunkMeta, LoopMeta, SpKind, SpProgram, SpTemplate};
 pub use translate::{translate, TranslateError};

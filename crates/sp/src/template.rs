@@ -7,6 +7,7 @@
 //! initialise and test them).
 
 use crate::instr::{Instr, Operand, SlotId, SpId};
+use crate::specialize::TemplatePlan;
 use std::collections::HashMap;
 
 /// What a template was generated from.
@@ -109,6 +110,10 @@ pub struct SpTemplate {
     /// Chunk metadata, set by the chunking transform when this template
     /// executes several consecutive outer iterations per instance.
     pub chunk_meta: Option<ChunkMeta>,
+    /// The pre-resolved execution plan attached by the prepare-time
+    /// specialization pass ([`crate::specialize::specialize_program`]);
+    /// `None` executes through the plain interpreter loop.
+    pub plan: Option<TemplatePlan>,
 }
 
 impl SpTemplate {
@@ -378,6 +383,17 @@ impl SpProgram {
             // iteration advance), so it is part of structural identity even
             // when the instruction stream happens to match.
             t.chunk_meta.hash(&mut h);
+            // So does the specialization plan (super-op dispatch vs plain
+            // interpretation): hash its shape so a specialized program
+            // never fingerprints equal to its unspecialized twin. The plan
+            // is a pure function of the code, so the shape is enough.
+            match &t.plan {
+                None => 0u8.hash(&mut h),
+                Some(plan) => {
+                    1u8.hash(&mut h);
+                    plan.hash_shape(&mut h);
+                }
+            }
         }
         h.finish()
     }
@@ -452,6 +468,7 @@ mod tests {
                 test_instr: 2,
             }),
             chunk_meta: None,
+            plan: None,
         }
     }
 
@@ -509,6 +526,7 @@ mod tests {
             ],
             loop_meta: None,
             chunk_meta: None,
+            plan: None,
         };
         let mut functions = HashMap::new();
         functions.insert("main".to_string(), SpId(1));
@@ -576,6 +594,7 @@ mod tests {
             }],
             loop_meta: None,
             chunk_meta: None,
+            plan: None,
         };
         let program = SpProgram::new(
             vec![loop_t, main_t],

@@ -94,6 +94,7 @@ fn placeholder(id: SpId, name: &str) -> SpTemplate {
         code: Vec::new(),
         loop_meta: None,
         chunk_meta: None,
+        plan: None,
     }
 }
 
@@ -293,6 +294,7 @@ impl TemplateBuilder {
             code: self.code,
             loop_meta: self.loop_meta,
             chunk_meta: None,
+            plan: None,
         }
     }
 

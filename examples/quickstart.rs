@@ -61,6 +61,17 @@ fn main() -> Result<(), pods::PodsError> {
     let runtime = Runtime::builder(EngineKind::Native).workers(4).build();
     let prepared = runtime.prepare(&program);
     println!("prepared: {prepared:?}");
+    // Preparation also specialized the templates: straight-line runs are
+    // now super-ops the warm path executes without re-interpreting, and
+    // each engine's summary below counts how often they fired.
+    let report = prepared.partition_report();
+    println!(
+        "specialized: {} of {} templates, {} super-ops, {} constants fused",
+        report.specialized_templates,
+        program.sp_program().len(),
+        report.super_ops,
+        report.fused_consts
+    );
     for n in [8i64, 16, 24] {
         let native = runtime.run(&prepared, &[Value::Int(n)])?;
         let native_array = native.returned_array().expect("array result");

@@ -60,31 +60,35 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
 
     for kind in engines_under_test() {
         let engine = kind.name();
-        // One runtime per (engine, machine size, delivery batch, grain):
-        // the native pool / async executor is reused across every workload
-        // size swept below. Both pooled engines also run with unbatched (1)
-        // and batched (16) wake-up delivery — the batching must be invisible
-        // to results — and every engine additionally sweeps the chunk grain
-        // (1 = unchunked, a fixed 4, and the auto-tuned grain) at the
-        // batched delivery, since chunking must be equally invisible.
+        // One runtime per (engine, machine size, delivery batch, grain,
+        // specialization): the native pool / async executor is reused
+        // across every workload size swept below. Both pooled engines also
+        // run with unbatched (1) and batched (16) wake-up delivery — the
+        // batching must be invisible to results — and every engine
+        // additionally sweeps the chunk grain (1 = unchunked, a fixed 4,
+        // and the auto-tuned grain) at the batched delivery, since chunking
+        // must be equally invisible. Every configuration then runs both
+        // with and without prepare-time specialization: super-op dispatch
+        // must be just as invisible as batching and chunking.
         let batches: &[usize] = if kind.is_pooled() { &[1, 16] } else { &[16] };
-        let mut configs: Vec<(usize, ChunkPolicy)> = batches
-            .iter()
-            .map(|&b| (b, ChunkPolicy::Fixed(1)))
-            .collect();
-        configs.push((16, ChunkPolicy::Fixed(4)));
-        configs.push((16, ChunkPolicy::Auto));
+        let mut configs: Vec<(usize, ChunkPolicy, bool)> = Vec::new();
+        for spec in [true, false] {
+            configs.extend(batches.iter().map(|&b| (b, ChunkPolicy::Fixed(1), spec)));
+            configs.push((16, ChunkPolicy::Fixed(4), spec));
+            configs.push((16, ChunkPolicy::Auto, spec));
+        }
         for &pes in pe_counts {
-            for &(batch, chunk) in &configs {
+            for &(batch, chunk, spec) in &configs {
                 let runtime = Runtime::builder(kind)
                     .workers(pes)
                     .delivery_batch(batch)
                     .chunk_policy(chunk)
+                    .specialize(spec)
                     .build();
                 let outcome = runtime.run(&program, args).unwrap_or_else(|e| {
                     panic!(
                         "{name}: engine `{engine}` on {pes} PEs \
-                         (batch {batch}, chunk {chunk}) failed: {e}"
+                         (batch {batch}, chunk {chunk}, specialize {spec}) failed: {e}"
                     )
                 });
 
@@ -92,7 +96,7 @@ fn assert_engines_agree(name: &str, source: &str, args: &[Value], pe_counts: &[u
                 // the arrays they denote (allocation *ids* legitimately differ
                 // across engines: the simulator's split-phase allocations can
                 // complete out of program order).
-                let label = format!("{name}/{engine}/{pes}/batch{batch}/chunk{chunk}");
+                let label = format!("{name}/{engine}/{pes}/batch{batch}/chunk{chunk}/spec{spec}");
                 match (&oracle.return_value, &outcome.return_value) {
                     (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {
                         let a = oracle.returned_array().expect("oracle returned array");

@@ -483,6 +483,79 @@ fn auto_grain_retunes_warm_reruns_from_first_run_stats() {
 }
 
 #[test]
+fn retuned_cache_entries_rebuild_the_specialization_plan() {
+    // Regression: the adaptive grain retune re-prepares the cached program
+    // at a boosted grain; the re-prepare must run the specialization pass
+    // again, so warm runs of the retuned entry still execute through
+    // super-ops rather than silently dropping back to the interpreter.
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(64)]);
+    let runtime = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .chunk_policy(pods::ChunkPolicy::Auto)
+        .specialize(true)
+        .build();
+
+    let first = runtime.run(&program, &[Value::Int(64)]).unwrap();
+    assert!(
+        native_stats(&first).super_ops > 0,
+        "cold run fires super-ops"
+    );
+
+    let second = runtime.run(&program, &[Value::Int(64)]).unwrap();
+    assert_matches_oracle("retuned warm run", &second, &oracle);
+    let s2 = native_stats(&second);
+    assert!(s2.chunks_autotuned >= 1, "the warm run must be retuned");
+    assert!(
+        s2.super_ops > 0,
+        "the retuned preparation must carry a rebuilt plan"
+    );
+
+    // The retuned cache entry itself reports its plan.
+    let pinned = runtime.prepare(&program);
+    assert!(pinned.chunks_autotuned() >= 1);
+    assert!(pinned.partition_report().super_ops > 0);
+}
+
+#[test]
+fn specialization_is_part_of_prepared_identity() {
+    let program = pods::compile(pods_workloads::FILL).unwrap();
+    let oracle = oracle_for(&program, &[Value::Int(16)]);
+    let on = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .specialize(true)
+        .build();
+    let off = Runtime::builder(EngineKind::Native)
+        .workers(2)
+        .specialize(false)
+        .build();
+
+    let prepared_on = on.prepare(&program);
+    assert!(prepared_on.partition_report().super_ops > 0);
+    let prepared_off = off.prepare(&program);
+    assert_eq!(prepared_off.partition_report().super_ops, 0);
+
+    // Handles only run under the setting they were prepared with.
+    assert!(matches!(
+        off.run(&prepared_on, &[Value::Int(16)]),
+        Err(pods::PodsError::PreparedMismatch)
+    ));
+    assert!(matches!(
+        on.run(&prepared_off, &[Value::Int(16)]),
+        Err(pods::PodsError::PreparedMismatch)
+    ));
+
+    // Under their own runtimes both match the oracle, and only the
+    // specialized run dispatches super-ops.
+    let out_on = on.run(&prepared_on, &[Value::Int(16)]).unwrap();
+    assert_matches_oracle("specialized", &out_on, &oracle);
+    assert!(native_stats(&out_on).super_ops > 0);
+    let out_off = off.run(&prepared_off, &[Value::Int(16)]).unwrap();
+    assert_matches_oracle("interpreted", &out_off, &oracle);
+    assert_eq!(native_stats(&out_off).super_ops, 0);
+}
+
+#[test]
 fn auto_grain_keeps_multi_worker_small_runs_competitive() {
     // The small-n scaling fix from the issue: at sizes where per-instance
     // overhead used to swamp the win of distribution, a multi-worker

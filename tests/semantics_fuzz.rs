@@ -46,12 +46,17 @@ const EDGES: &[Value] = &[
     Value::Unit,
 ];
 
-/// One long-lived runtime per (engine kind, worker count, chunk grain):
-/// the pooled engines' worker pools are reused across every fuzz case
-/// instead of being spawned per case. The grain sweep (1 = unchunked, a
-/// fixed 4, auto-tuned) pins the chunk driver — including its chunk-aware
-/// Range-Filter re-evaluation — to the oracle on every adversarial operand.
-static RUNTIMES: LazyLock<Vec<(EngineKind, usize, ChunkPolicy, Runtime)>> = LazyLock::new(|| {
+/// One long-lived runtime per (engine kind, worker count, chunk grain,
+/// specialization): the pooled engines' worker pools are reused across
+/// every fuzz case instead of being spawned per case. The grain sweep
+/// (1 = unchunked, a fixed 4, auto-tuned) pins the chunk driver — including
+/// its chunk-aware Range-Filter re-evaluation — to the oracle on every
+/// adversarial operand, and the specialize sweep does the same for super-op
+/// dispatch (wrapping div, RF faulting, and non-boolean branches must
+/// behave identically through fused runs and the plain interpreter).
+type RuntimeCase = (EngineKind, usize, ChunkPolicy, bool, Runtime);
+
+static RUNTIMES: LazyLock<Vec<RuntimeCase>> = LazyLock::new(|| {
     let mut out = Vec::new();
     for kind in EngineKind::ALL {
         for workers in [1usize, 3] {
@@ -60,15 +65,19 @@ static RUNTIMES: LazyLock<Vec<(EngineKind, usize, ChunkPolicy, Runtime)>> = Lazy
                 ChunkPolicy::Fixed(4),
                 ChunkPolicy::Auto,
             ] {
-                out.push((
-                    kind,
-                    workers,
-                    chunk,
-                    Runtime::builder(kind)
-                        .workers(workers)
-                        .chunk_policy(chunk)
-                        .build(),
-                ));
+                for specialize in [true, false] {
+                    out.push((
+                        kind,
+                        workers,
+                        chunk,
+                        specialize,
+                        Runtime::builder(kind)
+                            .workers(workers)
+                            .chunk_policy(chunk)
+                            .specialize(specialize)
+                            .build(),
+                    ));
+                }
             }
         }
     }
@@ -119,12 +128,12 @@ fn cells_agree(a: &Option<Value>, b: &Option<Value>) -> bool {
 fn assert_all_engines_agree(label: &str, program: &CompiledProgram, args: &[Value]) {
     let oracle = ORACLE.run(program, args);
     let oracle_class = classify(&oracle);
-    for (kind, workers, chunk, runtime) in RUNTIMES.iter() {
+    for (kind, workers, chunk, spec, runtime) in RUNTIMES.iter() {
         let outcome = runtime.run(program, args);
         let class = classify(&outcome);
         assert_eq!(
             class, oracle_class,
-            "{label}: engine `{kind}` on {workers} workers (chunk {chunk}) diverged: \
+            "{label}: engine `{kind}` on {workers} workers (chunk {chunk}, spec {spec}) diverged: \
              {outcome:?} vs oracle {oracle:?}"
         );
         let (Ok(outcome), Ok(oracle)) = (&outcome, &oracle) else {
@@ -136,30 +145,30 @@ fn assert_all_engines_agree(label: &str, program: &CompiledProgram, args: &[Valu
             (Some(Value::ArrayRef(_)), Some(Value::ArrayRef(_))) => {}
             (Some(a), Some(b)) => assert!(
                 values_agree(a, b),
-                "{label}: engine `{kind}` on {workers} workers (chunk {chunk}) returned {b}, oracle {a}"
+                "{label}: engine `{kind}` on {workers} workers (chunk {chunk}, spec {spec}) returned {b}, oracle {a}"
             ),
-            (a, b) => assert_eq!(a, b, "{label}: `{kind}`/{workers}/c{chunk}: return presence"),
+            (a, b) => assert_eq!(a, b, "{label}: `{kind}`/{workers}/c{chunk}/s{spec}: return presence"),
         }
         assert_eq!(
             oracle.arrays.len(),
             outcome.arrays.len(),
-            "{label}: `{kind}`/{workers}/c{chunk}: array count"
+            "{label}: `{kind}`/{workers}/c{chunk}/s{spec}: array count"
         );
         for expected in &oracle.arrays {
             let got = outcome.array(&expected.name).unwrap_or_else(|| {
                 panic!(
-                    "{label}: `{kind}`/{workers}/c{chunk}: array `{}` missing",
+                    "{label}: `{kind}`/{workers}/c{chunk}/s{spec}: array `{}` missing",
                     expected.name
                 )
             });
             assert_eq!(
                 expected.shape, got.shape,
-                "{label}: `{kind}`/{workers}/c{chunk}"
+                "{label}: `{kind}`/{workers}/c{chunk}/s{spec}"
             );
             for (i, (a, b)) in expected.values.iter().zip(&got.values).enumerate() {
                 assert!(
                     cells_agree(a, b),
-                    "{label}: `{kind}`/{workers}/c{chunk}: `{}`[{i}] = {b:?}, oracle {a:?}",
+                    "{label}: `{kind}`/{workers}/c{chunk}/s{spec}: `{}`[{i}] = {b:?}, oracle {a:?}",
                     expected.name
                 );
             }
